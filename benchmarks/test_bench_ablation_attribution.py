@@ -1,0 +1,70 @@
+"""Ablation: AS attribution — longest-prefix trie vs fixed-length heuristic.
+
+DESIGN.md calls out the attribution structure: a proper longest-prefix
+match against announced prefixes, versus the cheap heuristic of keying on
+the /24 (v4) / /48 (v6) of each source.  The heuristic mislabels traffic
+whenever announced prefixes are shorter than the fixed key (it can only
+label keys it has seen labelled), so the trie must win on accuracy while
+staying within a reasonable speed envelope.
+"""
+
+import time
+
+from conftest import emit
+
+from repro.analysis import Attributor
+from repro.capture import join_address
+from repro.clouds import PROVIDERS
+from repro.experiments.report import Report
+
+
+def _heuristic_labels(view, registry, providers):
+    """Fixed-length bucket attribution: label each /24 (v4) or /48 (v6) by
+    looking up one representative address per bucket."""
+    labels = []
+    bucket_cache = {}
+    for i in range(len(view)):
+        family = int(view.family[i])
+        address = join_address(family, int(view.src_hi[i]), int(view.src_lo[i]))
+        shift = (32 - 24) if family == 4 else (128 - 48)
+        bucket = (family, address.value >> shift)
+        label = bucket_cache.get(bucket)
+        if label is None:
+            asn = registry.origin(address)
+            operator = registry.operator_of(asn) if asn is not None else None
+            label = operator if operator in providers else "Other"
+            bucket_cache[bucket] = label
+        labels.append(label)
+    return labels
+
+
+def test_bench_ablation_attribution(ctx, benchmark):
+    run = ctx.run("nl-w2020")
+    view = run.capture.view()
+
+    def trie_pass():
+        return Attributor(run.registry, PROVIDERS).attribute(view)
+
+    result = benchmark.pedantic(trie_pass, rounds=1, iterations=1)
+
+    start = time.perf_counter()
+    heuristic = _heuristic_labels(view, run.registry, set(PROVIDERS))
+    heuristic_seconds = time.perf_counter() - start
+
+    agree = sum(
+        1 for a, b in zip(result.providers, heuristic) if str(a) == b
+    )
+    agreement = agree / len(view) if len(view) else 1.0
+
+    report = Report("ablation-attribution", "Prefix trie vs /24-/48 heuristic")
+    report.add("rows attributed", None, len(view))
+    report.add("agreement", "1.0 when buckets align", round(agreement, 4))
+    report.add("heuristic wall time", None, round(heuristic_seconds, 3), unit="s")
+    emit(report.to_text())
+
+    # The heuristic agrees on the vast majority of rows (our announced
+    # prefixes are mostly shorter than /24, so representative sampling
+    # works), but the trie is the ground truth.
+    assert agreement > 0.95
+    # Trie attribution covers every row with a definite label.
+    assert all(p is not None for p in result.providers)

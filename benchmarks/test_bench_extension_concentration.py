@@ -1,0 +1,42 @@
+"""Extension benchmark: concentration indices (HHI / CR-n / Gini).
+
+The scalar-index view of the paper's question.  Shapes: the ccTLDs carry a
+more provider-concentrated mix than the root; the 5-provider group share
+matches Figure 1's levels; the per-AS distribution is heavy-tailed (high
+Gini) everywhere.
+"""
+
+from conftest import emit
+
+from repro.experiments import extension_concentration
+
+
+def test_bench_concentration(ctx, benchmark):
+    reports = benchmark.pedantic(
+        extension_concentration.run, args=(ctx,), rounds=1, iterations=1
+    )
+    for report in reports.values():
+        emit(report.to_text())
+
+    nl, nz, root = reports["nl"], reports["nz"], reports["root"]
+
+    # Group share mirrors Figure 1: ccTLDs >> root.
+    assert nl.measured("2020 5-provider group share") > 0.25
+    assert root.measured("2020 5-provider group share") < 0.18
+    assert (
+        nl.measured("2020 5-provider group share")
+        > 2 * root.measured("2020 5-provider group share")
+    )
+
+    # Per-AS traffic is heavy-tailed at every vantage.
+    for report in reports.values():
+        assert report.measured("2020 Gini") > 0.5
+        assert report.measured("2020 CR-20 (ASes)") > report.measured("2020 CR-5 (ASes)")
+
+    # CR-20 at the ccTLDs is substantial (the paper: 20 CP ASes alone give
+    # ~30%, and big ISPs add more).
+    assert nl.measured("2020 CR-20 (ASes)") > 0.3
+
+    # Centralization does not decrease over the observed years.
+    assert nl.series["group"][-1] >= nl.series["group"][0] - 0.03
+    assert root.series["group"][-1] >= root.series["group"][0]

@@ -1,0 +1,31 @@
+"""Extension benchmark: outage resilience of the .nl NS set.
+
+Shapes (the paper's section-1 motivation made quantitative): partial
+outages are invisible to clients thanks to NS-set failover, retry load
+rises as servers go dark, and a full outage collapses resolution.
+"""
+
+from conftest import emit
+
+from repro.experiments import extension_outage
+
+
+def test_bench_outage(ctx, benchmark):
+    report = benchmark.pedantic(
+        extension_outage.run, args=(ctx,), rounds=1, iterations=1
+    )
+    emit(report.to_text())
+
+    servfail = dict(zip(report.series["offline"], report.series["servfail"]))
+    retry_load = dict(zip(report.series["offline"], report.series["retry_load"]))
+    total = max(servfail)
+
+    # Losing one server is invisible to clients (anycast/NS redundancy).
+    assert servfail[0] < 0.01
+    assert servfail[1] < 0.01
+    # A full outage collapses resolution for uncached names.
+    assert servfail[total] > 0.5
+    # Failure rate is monotone-ish in the number of dead servers.
+    assert servfail[total] > servfail[0]
+    # Retry traffic grows as the NS set shrinks (timeout + move on).
+    assert retry_load[total - 1] > retry_load[0]

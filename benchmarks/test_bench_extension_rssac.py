@@ -1,0 +1,30 @@
+"""Extension benchmark: RSSAC002-style B-Root operator report.
+
+Shapes: the root is NXDOMAIN-heavy and grows more so by 2020 (Chromium
+probes); traffic is overwhelmingly UDP; query volume and unique sources
+grow with the anycast footprint (Table 3's B-Root rows).
+"""
+
+from conftest import emit
+
+from repro.experiments import extension_rssac
+
+
+def test_bench_rssac(ctx, benchmark):
+    report = benchmark.pedantic(extension_rssac.run, args=(ctx,), rounds=1, iterations=1)
+    emit(report.to_text())
+
+    # Root junk dominance, worst in 2020 (Chromium probes).
+    assert report.measured("2020 NXDOMAIN share") > 0.5
+    assert report.measured("2020 NXDOMAIN share") > report.measured("2018 NXDOMAIN share") - 0.02
+
+    # DNS to the root is almost entirely UDP.
+    for year in (2018, 2019, 2020):
+        assert report.measured(f"{year} UDP share") > 0.97
+
+    # Growth: queries and unique sources rise with the anycast expansion.
+    assert report.measured("2020 total queries") > report.measured("2018 total queries")
+    assert (
+        report.measured("2020 peak unique sources")
+        > report.measured("2018 peak unique sources")
+    )

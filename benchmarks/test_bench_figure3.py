@@ -1,0 +1,51 @@
+"""Benchmark F3: regenerate Figure 3 (monthly Google mix, Q-min rollout).
+
+The paper's longitudinal result: Google's NS share jumps in Dec 2019 at
+both ccTLDs (rollout confirmed by Google), stays high afterwards, with a
+Feb-2020 A/AAAA spike at .nz caused by a cyclic-dependency
+misconfiguration.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure3
+from repro.reporting import sparkline
+
+
+def test_bench_figure3_nl(ctx, benchmark):
+    report = benchmark.pedantic(
+        figure3.run_vantage, args=(ctx, "nl"), rounds=1, iterations=1
+    )
+    emit(report.to_text())
+    emit("NS share trend: " + sparkline(report.series["ns_share"]))
+
+    # Changepoint detection pins the rollout to Dec 2019.
+    assert report.measured("detected Q-min rollout") == "2019-12"
+    # Pre-rollout months: low NS share; post-rollout: high.
+    months = report.series["months"]
+    ns = dict(zip(months, report.series["ns_share"]))
+    assert ns["2019-11"] < 0.15
+    assert ns["2020-01"] > 0.25
+    # Post-rollout NS queries carry minimised names.
+    assert report.measured("minimised NS qnames (2020-01)") > 0.9
+
+
+def test_bench_figure3_nz(ctx, benchmark):
+    report = benchmark.pedantic(
+        figure3.run_vantage, args=(ctx, "nz"), rounds=1, iterations=1
+    )
+    emit(report.to_text())
+    emit("NS share trend: " + sparkline(report.series["ns_share"]))
+
+    assert report.measured("detected Q-min rollout") == "2019-12"
+    months = report.series["months"]
+    ns = dict(zip(months, report.series["ns_share"]))
+    a = dict(zip(months, report.series["a_share"]))
+    # Feb 2020: the cyclic dependency pushes A/AAAA up and NS share down
+    # relative to neighbouring months (paper: "Google sends more A/AAAA
+    # queries in Feb2020 for .nz").
+    assert report.measured("Feb-2020 A/AAAA spike (cyclic dep)") > 0.05
+    assert a["2020-02"] > a["2020-01"]
+    assert ns["2020-02"] < ns["2020-01"]
+    # The trend resumes in March/April (misconfiguration fixed).
+    assert ns["2020-03"] > ns["2020-02"]

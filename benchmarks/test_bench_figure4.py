@@ -1,0 +1,46 @@
+"""Benchmark F4: regenerate Figure 4 (junk ratios per provider/vantage).
+
+Shapes: ccTLD junk rates similar across .nl/.nz per CP; the root is ~80%
+junk overall but CPs show proportionally less junk there; CP junk drops in
+2020 (aggressive NSEC caching, section 4.2.3).
+"""
+
+from conftest import emit
+
+from repro.clouds import PROVIDERS
+from repro.experiments import figure4
+
+
+def test_bench_figure4_cctlds(ctx, benchmark):
+    reports = benchmark.pedantic(
+        lambda: (figure4.run_vantage(ctx, "nl"), figure4.run_vantage(ctx, "nz")),
+        rounds=1, iterations=1,
+    )
+    nl, nz = reports
+    emit(nl.to_text())
+    emit(nz.to_text())
+
+    # Vantage-wide junk level ordering: .nz > .nl (paper: ~29-34% vs ~14%).
+    assert nz.measured("2020 overall") > nl.measured("2020 overall")
+    # CP junk at ccTLDs stays well below the background-heavy overall rate
+    # for the low-junk providers.
+    assert nl.measured("2020 Facebook") < 0.15
+    # Per-provider junk is similar across the two ccTLDs (within 10 pts).
+    for provider in PROVIDERS:
+        gap = abs(nl.measured(f"2020 {provider}") - nz.measured(f"2020 {provider}"))
+        assert gap < 0.12, (provider, gap)
+
+
+def test_bench_figure4_root(ctx, benchmark):
+    report = benchmark.pedantic(
+        figure4.run_vantage, args=(ctx, "root"), rounds=1, iterations=1
+    )
+    emit(report.to_text())
+
+    # The root is majority junk overall...
+    assert report.measured("2020 overall") > 0.55
+    # ...but every CP is far below the overall junk level (Figure 4c).
+    for provider in PROVIDERS:
+        assert report.measured(f"2020 {provider}") < report.measured("2020 overall")
+    # 2020 junk decrease for CPs that deployed aggressive NSEC caching.
+    assert report.measured("2020 Google") <= report.measured("2019 Google") + 0.02

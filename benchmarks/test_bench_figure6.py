@@ -1,0 +1,39 @@
+"""Benchmark F6: regenerate Figure 6 (EDNS0 size CDF + truncation ratios).
+
+Shapes: ~30% of Facebook's UDP queries advertise 512 octets vs Google's
+~24% at <=1232; truncation is double-digit percent for Facebook and ~zero
+for Google/Microsoft; Facebook's TCP share follows from its truncation.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure6
+from repro.reporting import cdf_plot
+
+
+def test_bench_figure6(ctx, benchmark):
+    report = benchmark.pedantic(figure6.run, args=(ctx,), rounds=1, iterations=1)
+    emit(report.to_text())
+    emit(cdf_plot(report.series["facebook_cdf"], title="Facebook EDNS0 CDF"))
+    emit(cdf_plot(report.series["google_cdf"], title="Google EDNS0 CDF"))
+
+    # Facebook has a large mass at 512; Google has none.
+    fb_512 = report.measured("Facebook CDF @512")
+    assert 0.15 < fb_512 < 0.55
+    google_points = dict(report.series["google_cdf"])
+    assert 512 not in google_points or google_points[512] < 0.02
+    # Google and Microsoft have similar CDFs at 1232 (paper's remark).
+    google_1232 = report.measured("Google CDF @1232")
+    microsoft_1232 = report.measured("Microsoft CDF @1232")
+    assert abs(google_1232 - microsoft_1232) < 0.20
+
+    # Truncation ordering: Facebook >> Google >= ~0, Microsoft ~0.
+    fb_trunc = report.measured("Facebook truncated UDP answers")
+    assert fb_trunc > 0.05
+    assert report.measured("Google truncated UDP answers") < 0.01
+    assert report.measured("Microsoft truncated UDP answers") < 0.01
+    assert fb_trunc > 10 * max(
+        report.measured("Google truncated UDP answers"), 1e-4
+    )
+    # TCP share is the downstream consequence of truncation.
+    assert report.measured("Facebook TCP share (consequence)") > 0.05

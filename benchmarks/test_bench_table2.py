@@ -1,0 +1,22 @@
+"""Benchmark T2: regenerate Table 2 (server deployments and zone sizes)."""
+
+from conftest import emit
+
+from repro.experiments import table2
+from repro.workload import PAPER_DATASETS
+
+
+def test_bench_table2(ctx, benchmark):
+    report = benchmark.pedantic(table2.run, args=(ctx,), rounds=1, iterations=1)
+    emit(report.to_text())
+
+    # Shape: .nl went from 4 to 3 servers; 2 captured throughout.
+    assert report.measured("nl-w2018 NSSet") == "4A"
+    assert report.measured("nl-w2020 NSSet") == "3A"
+    assert report.measured("nl-w2020 analysed") == "2A"
+    # .nz: 6 anycast + 1 unicast, one anycast not captured.
+    assert report.measured("nz-w2020 NSSet") == "6A,1U"
+    assert report.measured("nz-w2020 analysed") == "5A,1U"
+    # Zone structure: .nl second-level only; .nz has third-level names.
+    assert PAPER_DATASETS["nl-w2020"].zone_third_level == 0
+    assert PAPER_DATASETS["nz-w2020"].zone_third_level > 0

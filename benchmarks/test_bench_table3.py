@@ -1,0 +1,29 @@
+"""Benchmark T3: regenerate Table 3 (datasets: totals, valid, resolvers, ASes)."""
+
+from conftest import emit
+
+from repro.experiments import table3
+
+
+def test_bench_table3(ctx, benchmark):
+    report = benchmark.pedantic(table3.run, args=(ctx,), rounds=1, iterations=1)
+    emit(report.to_text())
+
+    # Valid-fraction shape: ccTLDs mostly valid; the root mostly junk.
+    assert report.measured("nl-w2020 valid fraction") > 0.75
+    assert report.measured("nz-w2020 valid fraction") > 0.55
+    assert report.measured("root-2020 valid fraction") < 0.45
+
+    # Traffic growth over the years at every vantage (paper: .nl +88%,
+    # .nz +55%, B-Root +150%).
+    for vantage in ("nl", "nz", "root"):
+        g = table3.growth(ctx, vantage)
+        assert g["growth"] > 0.25, (vantage, g)
+
+    # The root's growth outpaces the ccTLDs' (anycast expansion).
+    assert table3.growth(ctx, "root")["growth"] > table3.growth(ctx, "nz")["growth"]
+
+    # AS diversity: tens of thousands of ASes in the paper, scaled here;
+    # every vantage must see hundreds of distinct ASes.
+    for dataset_id in ("nl-w2020", "nz-w2020", "root-2020"):
+        assert report.measured(f"{dataset_id} ASes") > 200

@@ -1,0 +1,39 @@
+"""Benchmark T4/T7: regenerate Tables 4 and 7 (Google Public DNS split).
+
+Shape: ~85-90% of Google's queries come from the advertised Public DNS
+egress ranges, which hold only ~15-19% of Google's resolver addresses —
+and the ratios are similar at both ccTLDs and across 2019/2020.
+"""
+
+from conftest import emit
+
+from repro.experiments import table4
+
+
+def test_bench_table4_w2020(ctx, benchmark):
+    report = benchmark.pedantic(table4.run_year, args=(ctx, 2020), rounds=1, iterations=1)
+    emit(report.to_text())
+
+    for vantage in ("nl", "nz"):
+        query_ratio = report.measured(f".{vantage} ratio public (queries)")
+        resolver_ratio = report.measured(f".{vantage} ratio public (resolvers)")
+        # Public DNS dominates query volume...
+        assert 0.75 < query_ratio < 0.97, (vantage, query_ratio)
+        # ...from a small minority of the addresses.
+        assert resolver_ratio < 0.40, (vantage, resolver_ratio)
+        assert query_ratio > 1.8 * resolver_ratio
+
+    # Both countries show about the same public ratio (the paper's point:
+    # popularity of Google DNS does not explain the .nl/.nz gap).
+    gap = abs(
+        report.measured(".nl ratio public (queries)")
+        - report.measured(".nz ratio public (queries)")
+    )
+    assert gap < 0.10
+
+
+def test_bench_table7_w2019(ctx, benchmark):
+    report = benchmark.pedantic(table4.run_year, args=(ctx, 2019), rounds=1, iterations=1)
+    emit(report.to_text())
+    for vantage in ("nl", "nz"):
+        assert 0.70 < report.measured(f".{vantage} ratio public (queries)") < 0.97

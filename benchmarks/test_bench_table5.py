@@ -1,0 +1,62 @@
+"""Benchmark T5: regenerate Table 5 (IPv4/IPv6 and UDP/TCP per provider).
+
+Shapes: Microsoft all-IPv4/all-UDP; Amazon nearly so with slow v6/TCP
+growth; Google and Cloudflare roughly even v4/v6 over UDP; Facebook
+majority-IPv6 from 2019 and double-digit TCP.
+"""
+
+from conftest import emit
+
+from repro.experiments import table5
+
+
+def test_bench_table5_nl_2020(ctx, benchmark):
+    report = benchmark.pedantic(
+        table5.run_vantage_year, args=(ctx, "nl", 2020), rounds=1, iterations=1
+    )
+    emit(report.to_text())
+
+    # Microsoft: ~all IPv4, ~all UDP.
+    assert report.measured("Microsoft IPv4") >= 0.99
+    assert report.measured("Microsoft TCP") <= 0.01
+    # Amazon: v4-dominant, small but nonzero v6.
+    assert report.measured("Amazon IPv4") > 0.9
+    # Google/Cloudflare: roughly even split, ~no TCP.
+    for provider in ("Google", "Cloudflare"):
+        v6 = report.measured(f"{provider} IPv6")
+        assert 0.3 < v6 < 0.65, (provider, v6)
+        assert report.measured(f"{provider} TCP") < 0.05
+    # Facebook: majority IPv6 and double-digit TCP share.
+    assert report.measured("Facebook IPv6") > 0.5
+    assert report.measured("Facebook TCP") > 0.05
+
+
+def test_bench_table5_year_trends(ctx, benchmark):
+    reports = benchmark.pedantic(
+        lambda: {
+            year: table5.run_vantage_year(ctx, "nl", year) for year in (2018, 2019, 2020)
+        },
+        rounds=1, iterations=1,
+    )
+    for year in (2018, 2019, 2020):
+        emit(reports[year].to_text())
+    # Facebook's shift to IPv6: 2018 ~even, 2019+ majority v6 (Table 5).
+    fb_2018 = reports[2018].measured("Facebook IPv6")
+    fb_2019 = reports[2019].measured("Facebook IPv6")
+    assert fb_2019 > fb_2018 + 0.1
+    # Amazon's IPv6 creeps up from zero.
+    assert reports[2018].measured("Amazon IPv6") <= 0.01
+    assert reports[2020].measured("Amazon IPv6") >= reports[2018].measured("Amazon IPv6")
+    # Microsoft never moves.
+    for year in (2018, 2019, 2020):
+        assert reports[year].measured("Microsoft IPv6") <= 0.01
+
+
+def test_bench_table5_nz(ctx, benchmark):
+    report = benchmark.pedantic(
+        table5.run_vantage_year, args=(ctx, "nz", 2020), rounds=1, iterations=1
+    )
+    emit(report.to_text())
+    assert report.measured("Microsoft IPv4") >= 0.99
+    assert report.measured("Facebook IPv6") > 0.5
+    assert report.measured("Facebook TCP") > 0.05

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Per-provider transport audit: IPv6, TCP, EDNS0 and truncation.
+
+Reproduces the paper's section 4.3/4.4 analyses on one dataset: Table 5's
+family/transport splits, Table 6's resolver inventories, Figure 6's EDNS0
+buffer-size CDFs, and the truncation ratios that explain who needs TCP.
+
+Usage::
+
+    python examples/transport_audit.py [dataset-id] [scale]
+
+e.g. ``python examples/transport_audit.py nz-w2020 0.3``
+"""
+
+import sys
+
+from repro.analysis import (
+    Attributor,
+    bufsize_cdf,
+    resolver_inventory,
+    transport_matrix,
+    truncation_table,
+)
+from repro.clouds import PROVIDERS
+from repro.reporting import cdf_plot
+from repro.sim import run_dataset
+from repro.workload import dataset
+
+
+def main() -> None:
+    dataset_id = sys.argv[1] if len(sys.argv) > 1 else "nl-w2020"
+    scale = float(sys.argv[2]) if len(sys.argv) > 2 else 0.2
+    descriptor = dataset(dataset_id)
+
+    print(f"simulating {dataset_id} at scale {scale} ...")
+    run = run_dataset(
+        descriptor, client_queries=int(descriptor.client_queries * scale)
+    )
+    view = run.capture.view()
+    attribution = Attributor(run.registry, PROVIDERS).attribute(view)
+
+    print()
+    print(f"{'provider':<11} {'IPv4':>6} {'IPv6':>6} {'UDP':>6} {'TCP':>6}"
+          f" {'resolvers':>10} {'v6 addrs':>9}")
+    for row in transport_matrix(view, attribution, PROVIDERS):
+        inventory = resolver_inventory(view, attribution, row.provider)
+        print(
+            f"{row.provider:<11} {row.ipv4:>6.2f} {row.ipv6:>6.2f} "
+            f"{row.udp:>6.2f} {row.tcp:>6.2f} {inventory.total:>10} "
+            f"{inventory.ipv6:>9}"
+        )
+
+    print()
+    print("truncated UDP answers per provider:")
+    for provider, ratio in truncation_table(view, attribution, PROVIDERS).items():
+        print(f"  {provider:<11} {ratio:.2%}")
+
+    print()
+    for provider in ("Facebook", "Google"):
+        print(cdf_plot(
+            bufsize_cdf(view, attribution, provider).as_points(),
+            title=f"{provider} EDNS0 UDP size CDF:",
+        ))
+        print()
+
+
+if __name__ == "__main__":
+    main()

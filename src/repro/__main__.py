@@ -1,0 +1,103 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``experiments``
+    Run every table/figure experiment and print (or ``--write``) the
+    combined paper-vs-measured report.
+``dataset <id>``
+    Simulate one paper dataset and print its headline metrics.
+``list``
+    List available dataset ids.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    from .workload import PAPER_DATASETS
+
+    for dataset_id in sorted(PAPER_DATASETS):
+        descriptor = PAPER_DATASETS[dataset_id]
+        print(
+            f"{dataset_id:<12} vantage={descriptor.vantage:<5} "
+            f"year={descriptor.year} client_queries={descriptor.client_queries}"
+        )
+    return 0
+
+
+def _cmd_dataset(args: argparse.Namespace) -> int:
+    from .analysis import Attributor, cloud_share, dataset_summary, provider_shares
+    from .clouds import PROVIDERS
+    from .sim import run_dataset
+    from .workload import dataset
+
+    descriptor = dataset(args.dataset_id)
+    volume = int(descriptor.client_queries * args.scale)
+    print(f"simulating {args.dataset_id} ({volume} client queries)...", file=sys.stderr)
+    run = run_dataset(descriptor, client_queries=volume, seed=args.seed)
+    view = run.capture.view()
+    attribution = Attributor(run.registry, PROVIDERS).attribute(view)
+    summary = dataset_summary(view, attribution)
+    print(f"captured queries : {summary.queries_total}")
+    print(f"valid fraction   : {summary.valid_fraction:.3f}")
+    print(f"resolvers        : {summary.resolvers}")
+    print(f"ASes             : {summary.ases}")
+    shares = provider_shares(view, attribution, PROVIDERS)
+    for provider, share in shares.items():
+        print(f"{provider:<11}      : {share:.3f}")
+    print(f"all 5 CPs        : {cloud_share(view, attribution, PROVIDERS):.3f}")
+    if args.out:
+        from .capture import write_csv
+
+        count = write_csv(run.capture, args.out)
+        print(f"wrote {count} rows to {args.out}", file=sys.stderr)
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments.render_all import run_and_render
+
+    content = run_and_render(scale=args.scale)
+    if args.write:
+        with open(args.write, "w") as handle:
+            handle.write(content)
+        print(f"wrote {args.write}", file=sys.stderr)
+    else:
+        print(content)
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Clouding up the Internet' (IMC 2020)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_list = sub.add_parser("list", help="list paper datasets")
+    p_list.set_defaults(func=_cmd_list)
+
+    p_dataset = sub.add_parser("dataset", help="simulate one dataset")
+    p_dataset.add_argument("dataset_id")
+    p_dataset.add_argument("--scale", type=float, default=0.2)
+    p_dataset.add_argument("--seed", type=int, default=20201027)
+    p_dataset.add_argument("--out", help="write the capture to this CSV path")
+    p_dataset.set_defaults(func=_cmd_dataset)
+
+    p_exp = sub.add_parser("experiments", help="run all paper experiments")
+    p_exp.add_argument("--scale", type=float, default=None,
+                       help="volume scale (default: REPRO_SCALE or 1.0)")
+    p_exp.add_argument("--write", metavar="PATH",
+                       help="write the combined report to PATH (markdown)")
+    p_exp.set_defaults(func=_cmd_experiments)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,102 @@
+"""The ENTRADA-like analysis layer: attribution and every paper metric."""
+
+from .attribution import (
+    AttributionResult,
+    Attributor,
+    OTHER,
+    UNKNOWN,
+    distinct_as_count,
+    queries_by_provider,
+)
+from .changepoint import cusum_detector, detect_step_level, jump_detector
+from .concentration import (
+    ConcentrationReport,
+    concentration,
+    per_as_counts,
+    provider_group_concentration,
+)
+from .edns import (
+    BufsizeCDF,
+    bufsize_cdf,
+    tcp_share,
+    truncation_ratio,
+    truncation_table,
+)
+from .facebook import (
+    DualStackReport,
+    SiteStats,
+    classify_addresses,
+    facebook_site_stats,
+    rtt_preference_correlation,
+)
+from .google_split import GoogleSplit, build_public_dns_trie, google_split
+from .metrics import (
+    DatasetSummary,
+    InventoryRow,
+    TransportRow,
+    cloud_share,
+    dataset_summary,
+    junk_ratios,
+    overall_junk_ratio,
+    provider_shares,
+    resolver_inventory,
+    rrtype_mix,
+    transport_matrix,
+)
+from .rssac import DailyTraffic, RSSACSummary, daily_traffic, summarize
+from .qmin import (
+    MonthlyPoint,
+    detect_rollout,
+    minimized_fraction,
+    monthly_point,
+    ns_share,
+)
+
+__all__ = [
+    "AttributionResult",
+    "Attributor",
+    "BufsizeCDF",
+    "ConcentrationReport",
+    "DailyTraffic",
+    "RSSACSummary",
+    "concentration",
+    "cusum_detector",
+    "detect_step_level",
+    "jump_detector",
+    "daily_traffic",
+    "per_as_counts",
+    "provider_group_concentration",
+    "summarize",
+    "DatasetSummary",
+    "DualStackReport",
+    "GoogleSplit",
+    "InventoryRow",
+    "MonthlyPoint",
+    "OTHER",
+    "SiteStats",
+    "TransportRow",
+    "UNKNOWN",
+    "build_public_dns_trie",
+    "bufsize_cdf",
+    "classify_addresses",
+    "cloud_share",
+    "dataset_summary",
+    "detect_rollout",
+    "distinct_as_count",
+    "facebook_site_stats",
+    "google_split",
+    "junk_ratios",
+    "minimized_fraction",
+    "monthly_point",
+    "ns_share",
+    "overall_junk_ratio",
+    "provider_shares",
+    "queries_by_provider",
+    "resolver_inventory",
+    "rrtype_mix",
+    "rtt_preference_correlation",
+    "tcp_share",
+    "transport_matrix",
+    "truncation_ratio",
+    "truncation_table",
+]

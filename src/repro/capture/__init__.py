@@ -1,0 +1,21 @@
+"""Capture schema, columnar store, and persistence (the ENTRADA stand-in)."""
+
+from .io import read_csv, read_jsonl, write_csv, write_jsonl
+from .io_binary import read_npz, write_npz
+from .schema import QueryRecord, Transport
+from .store import CaptureStore, CaptureView, join_address, split_address
+
+__all__ = [
+    "CaptureStore",
+    "CaptureView",
+    "QueryRecord",
+    "Transport",
+    "join_address",
+    "read_csv",
+    "read_jsonl",
+    "read_npz",
+    "split_address",
+    "write_csv",
+    "write_jsonl",
+    "write_npz",
+]

@@ -1,0 +1,82 @@
+"""Capture record schema.
+
+Each row is one query/response pair observed at an authoritative server —
+the same per-query metadata the ENTRADA platform extracts from pcaps at SIDN
+and InternetNZ, which is all the paper's analyses consume:
+
+timestamp, server identity, source address, transport, qname/qtype,
+RCODE, EDNS0 buffer size + DO bit, response size, TC bit, and (for TCP)
+the handshake RTT.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..netsim import IPAddress
+
+
+class Transport(enum.IntEnum):
+    """Transport protocol of the query."""
+
+    UDP = 0
+    TCP = 1
+
+
+@dataclass(frozen=True)
+class QueryRecord:
+    """One captured query/response observation.
+
+    Attributes
+    ----------
+    timestamp:
+        Epoch seconds (simulated) at which the query arrived.
+    server_id:
+        Which authoritative server (and anycast instance) captured it,
+        e.g. ``"nl-a"``.
+    src:
+        Source address of the query (the resolver).
+    transport:
+        UDP or TCP.
+    qname:
+        Query name in absolute presentation form.
+    qtype:
+        Query type code.
+    rcode:
+        Response code sent back.
+    edns_bufsize:
+        EDNS0 advertised UDP payload size; 0 when the query had no OPT.
+    do_bit:
+        EDNS0 DNSSEC-OK flag.
+    response_size:
+        Size of the response actually sent, in octets.
+    truncated:
+        Whether the response was sent with TC=1.
+    tcp_rtt_ms:
+        TCP handshake RTT in milliseconds; ``None`` for UDP queries.
+    """
+
+    timestamp: float
+    server_id: str
+    src: IPAddress
+    transport: Transport
+    qname: str
+    qtype: int
+    rcode: int
+    edns_bufsize: int = 0
+    do_bit: bool = False
+    response_size: int = 0
+    truncated: bool = False
+    tcp_rtt_ms: Optional[float] = None
+
+    def __post_init__(self):
+        if self.transport is Transport.UDP and self.tcp_rtt_ms is not None:
+            raise ValueError("UDP records cannot carry a TCP RTT")
+        if self.edns_bufsize < 0 or self.edns_bufsize > 0xFFFF:
+            raise ValueError("EDNS0 bufsize out of range")
+
+    @property
+    def family(self) -> int:
+        return self.src.family

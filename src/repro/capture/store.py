@@ -1,0 +1,196 @@
+"""Columnar capture store.
+
+An append-optimised, numpy-backed column store for :class:`QueryRecord`
+rows.  This is the reproduction's stand-in for ENTRADA's Parquet/Impala
+warehouse: the analysis layer works on whole columns (boolean masks,
+group-bys) rather than on row objects, which keeps million-row datasets
+tractable in pure Python + numpy.
+
+Usage pattern::
+
+    store = CaptureStore()
+    store.append(record)          # during simulation
+    ...
+    view = store.view()           # freeze to columns
+    mask = view.qtype == RRType.NS
+    counts = view.count_by(view.server_id, mask)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..netsim import IPAddress
+from .schema import QueryRecord, Transport
+
+_U64_MASK = (1 << 64) - 1
+
+
+def split_address(address: IPAddress) -> Tuple[int, int, int]:
+    """Pack an address into (family, hi64, lo64) for columnar storage."""
+    return address.family, (address.value >> 64) & _U64_MASK, address.value & _U64_MASK
+
+
+def join_address(family: int, hi: int, lo: int) -> IPAddress:
+    """Inverse of :func:`split_address`."""
+    return IPAddress(int(family), (int(hi) << 64) | int(lo))
+
+
+@dataclass
+class CaptureView:
+    """Immutable columnar view over captured rows.
+
+    All columns are equal-length numpy arrays (``qname``/``server_id`` are
+    object arrays of interned strings).  Analysis code composes boolean
+    masks over these columns; `count_by`/`unique_addresses` provide the two
+    aggregations everything else is built from.
+    """
+
+    timestamp: np.ndarray
+    server_id: np.ndarray
+    family: np.ndarray
+    src_hi: np.ndarray
+    src_lo: np.ndarray
+    transport: np.ndarray
+    qname: np.ndarray
+    qtype: np.ndarray
+    rcode: np.ndarray
+    edns_bufsize: np.ndarray
+    do_bit: np.ndarray
+    response_size: np.ndarray
+    truncated: np.ndarray
+    tcp_rtt_ms: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.timestamp)
+
+    # -- row access ----------------------------------------------------------
+
+    def record(self, index: int) -> QueryRecord:
+        """Materialise one row back into a :class:`QueryRecord`."""
+        rtt = float(self.tcp_rtt_ms[index])
+        return QueryRecord(
+            timestamp=float(self.timestamp[index]),
+            server_id=str(self.server_id[index]),
+            src=join_address(
+                self.family[index], self.src_hi[index], self.src_lo[index]
+            ),
+            transport=Transport(int(self.transport[index])),
+            qname=str(self.qname[index]),
+            qtype=int(self.qtype[index]),
+            rcode=int(self.rcode[index]),
+            edns_bufsize=int(self.edns_bufsize[index]),
+            do_bit=bool(self.do_bit[index]),
+            response_size=int(self.response_size[index]),
+            truncated=bool(self.truncated[index]),
+            tcp_rtt_ms=None if np.isnan(rtt) else rtt,
+        )
+
+    def iter_records(self, mask: Optional[np.ndarray] = None) -> Iterator[QueryRecord]:
+        indices = np.nonzero(mask)[0] if mask is not None else range(len(self))
+        for index in indices:
+            yield self.record(int(index))
+
+    # -- selection ------------------------------------------------------------
+
+    def select(self, mask: np.ndarray) -> "CaptureView":
+        """A new view containing only rows where ``mask`` is True."""
+        return CaptureView(
+            **{
+                name: getattr(self, name)[mask]
+                for name in self.__dataclass_fields__
+            }
+        )
+
+    # -- aggregation ------------------------------------------------------------
+
+    def count_by(
+        self, key: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Dict[object, int]:
+        """Count rows per distinct key value (optionally under a mask)."""
+        if mask is not None:
+            key = key[mask]
+        values, counts = np.unique(key, return_counts=True)
+        return {v if not isinstance(v, np.generic) else v.item(): int(c)
+                for v, c in zip(values, counts)}
+
+    def address_keys(self, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        """Composite (family, hi, lo) keys as a structured array, for
+        distinct-resolver counting."""
+        family = self.family if mask is None else self.family[mask]
+        hi = self.src_hi if mask is None else self.src_hi[mask]
+        lo = self.src_lo if mask is None else self.src_lo[mask]
+        out = np.empty(len(family), dtype=[("f", "u1"), ("h", "u8"), ("l", "u8")])
+        out["f"], out["h"], out["l"] = family, hi, lo
+        return out
+
+    def unique_addresses(self, mask: Optional[np.ndarray] = None) -> List[IPAddress]:
+        """Distinct source addresses (the paper's 'resolvers' unit)."""
+        unique = np.unique(self.address_keys(mask))
+        return [join_address(row["f"], row["h"], row["l"]) for row in unique]
+
+    def unique_address_count(self, mask: Optional[np.ndarray] = None) -> int:
+        return len(np.unique(self.address_keys(mask)))
+
+
+class CaptureStore:
+    """Append buffer that freezes into a :class:`CaptureView`."""
+
+    def __init__(self):
+        self._rows: List[Tuple] = []
+        self._frozen: Optional[CaptureView] = None
+
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def append(self, record: QueryRecord) -> None:
+        """Add one observation (invalidates any previous view)."""
+        family, hi, lo = split_address(record.src)
+        self._rows.append(
+            (
+                record.timestamp,
+                record.server_id,
+                family,
+                hi,
+                lo,
+                int(record.transport),
+                record.qname,
+                record.qtype,
+                record.rcode,
+                record.edns_bufsize,
+                record.do_bit,
+                record.response_size,
+                record.truncated,
+                np.nan if record.tcp_rtt_ms is None else record.tcp_rtt_ms,
+            )
+        )
+        self._frozen = None
+
+    def extend(self, records: Iterable[QueryRecord]) -> None:
+        for record in records:
+            self.append(record)
+
+    def view(self) -> CaptureView:
+        """Freeze appended rows into columnar form (cached until next append)."""
+        if self._frozen is None:
+            columns = list(zip(*self._rows)) if self._rows else [[] for _ in range(14)]
+            self._frozen = CaptureView(
+                timestamp=np.asarray(columns[0], dtype=np.float64),
+                server_id=np.asarray(columns[1], dtype=object),
+                family=np.asarray(columns[2], dtype=np.uint8),
+                src_hi=np.asarray(columns[3], dtype=np.uint64),
+                src_lo=np.asarray(columns[4], dtype=np.uint64),
+                transport=np.asarray(columns[5], dtype=np.uint8),
+                qname=np.asarray(columns[6], dtype=object),
+                qtype=np.asarray(columns[7], dtype=np.uint16),
+                rcode=np.asarray(columns[8], dtype=np.uint8),
+                edns_bufsize=np.asarray(columns[9], dtype=np.uint16),
+                do_bit=np.asarray(columns[10], dtype=bool),
+                response_size=np.asarray(columns[11], dtype=np.uint32),
+                truncated=np.asarray(columns[12], dtype=bool),
+                tcp_rtt_ms=np.asarray(columns[13], dtype=np.float64),
+            )
+        return self._frozen

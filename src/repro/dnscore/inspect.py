@@ -1,0 +1,113 @@
+"""Wire-format inspection: annotated hexdumps of DNS messages.
+
+A debugging aid in the spirit of ``dig``'s ``+qr`` output combined with a
+protocol-annotated hexdump: every region of the wire image is labelled
+with the field it encodes.  Used when validating codec changes and in
+tests that pin exact wire layouts.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .message import HEADER_LENGTH, Message
+from .names import Name
+from .types import RRType
+
+
+@dataclass(frozen=True)
+class WireRegion:
+    """One labelled byte range of a message's wire image."""
+
+    start: int
+    end: int
+    label: str
+
+    @property
+    def length(self) -> int:
+        return self.end - self.start
+
+
+def _name_end(wire: bytes, offset: int) -> int:
+    """Offset just past a (possibly compressed) name at ``offset``."""
+    __, after = Name.from_wire(wire, offset)
+    return after
+
+
+def annotate(wire: bytes) -> List[WireRegion]:
+    """Split a message wire image into labelled regions.
+
+    Raises the underlying codec errors for malformed input — the function
+    is as strict as the parser itself.
+    """
+    message = Message.from_wire(wire)  # validates before annotating
+    regions: List[WireRegion] = [
+        WireRegion(0, 2, "id"),
+        WireRegion(2, 4, "flags"),
+        WireRegion(4, 6, "qdcount"),
+        WireRegion(6, 8, "ancount"),
+        WireRegion(8, 10, "nscount"),
+        WireRegion(10, 12, "arcount"),
+    ]
+    offset = HEADER_LENGTH
+    (qdcount, ancount, nscount, arcount) = struct.unpack_from("!HHHH", wire, 4)
+    for index in range(qdcount):
+        end = _name_end(wire, offset)
+        regions.append(WireRegion(offset, end, f"question[{index}].qname"))
+        regions.append(WireRegion(end, end + 4, f"question[{index}].type+class"))
+        offset = end + 4
+    section_sizes = (("answer", ancount), ("authority", nscount), ("additional", arcount))
+    for section, count in section_sizes:
+        for index in range(count):
+            name_end = _name_end(wire, offset)
+            rrtype_value = struct.unpack_from("!H", wire, name_end)[0]
+            try:
+                type_label = RRType(rrtype_value).name
+            except ValueError:
+                type_label = f"TYPE{rrtype_value}"
+            prefix = f"{section}[{index}]({type_label})"
+            regions.append(WireRegion(offset, name_end, f"{prefix}.name"))
+            regions.append(WireRegion(name_end, name_end + 8, f"{prefix}.type+class+ttl"))
+            (rdlength,) = struct.unpack_from("!H", wire, name_end + 8)
+            regions.append(WireRegion(name_end + 8, name_end + 10, f"{prefix}.rdlength"))
+            regions.append(
+                WireRegion(name_end + 10, name_end + 10 + rdlength, f"{prefix}.rdata")
+            )
+            offset = name_end + 10 + rdlength
+    return regions
+
+
+def hexdump(wire: bytes, width: int = 16) -> str:
+    """A classic offset/hex/ASCII dump of the wire image."""
+    lines = []
+    for start in range(0, len(wire), width):
+        chunk = wire[start : start + width]
+        hex_part = " ".join(f"{b:02x}" for b in chunk).ljust(width * 3 - 1)
+        ascii_part = "".join(chr(b) if 0x20 <= b < 0x7F else "." for b in chunk)
+        lines.append(f"{start:04x}  {hex_part}  {ascii_part}")
+    return "\n".join(lines)
+
+
+def annotated_dump(wire: bytes) -> str:
+    """Region-labelled dump: offset range, bytes, and field name."""
+    lines = []
+    for region in annotate(wire):
+        chunk = wire[region.start : region.end]
+        shown = chunk[:12]
+        hex_part = " ".join(f"{b:02x}" for b in shown)
+        if len(chunk) > len(shown):
+            hex_part += f" .. (+{len(chunk) - len(shown)}B)"
+        lines.append(f"{region.start:04x}-{region.end:04x}  {region.label:<38} {hex_part}")
+    return "\n".join(lines)
+
+
+def explain(message: Message) -> str:
+    """Pretty text + annotated wire dump for one message."""
+    wire = message.to_wire()
+    return (
+        message.to_text()
+        + f"\n;; wire size: {len(wire)} octets\n"
+        + annotated_dump(wire)
+    )

@@ -1,0 +1,41 @@
+"""Experiment runners: one module per paper table/figure."""
+
+from . import (
+    extension_concentration,
+    extension_outage,
+    extension_rssac,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+)
+from .context import ExperimentContext, configured_scale
+from .report import Report, ReportRow
+
+__all__ = [
+    "ExperimentContext",
+    "Report",
+    "ReportRow",
+    "configured_scale",
+    "extension_concentration",
+    "extension_outage",
+    "extension_rssac",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+]

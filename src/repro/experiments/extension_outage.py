@@ -1,0 +1,105 @@
+"""Extension experiment: authoritative outage resilience.
+
+The paper's introduction motivates centralization risk with the Dyn (2016)
+and AWS (2019) DDoS events: concentrated authoritative infrastructure is a
+single point of failure.  This experiment injects that failure mode into
+the simulated `.nl` deployment — taking authoritative servers offline one
+by one — and measures what the paper's framing predicts:
+
+* with the NS set intact, resolvers fail over and the client-visible
+  failure rate stays ~0;
+* as more of the NS set goes dark, surviving servers absorb the load
+  (traffic concentration under stress);
+* with the whole NS set down, resolution collapses (SERVFAIL storm + a
+  burst of retry traffic at the remaining infrastructure).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..dnscore import RCode, RRType
+from ..sim import run_dataset
+from ..workload import DiurnalPattern, WorkloadGenerator, dataset
+from ..zones import domains_of
+from .context import ExperimentContext
+from .report import Report
+
+
+@dataclass
+class OutageOutcome:
+    """Result of one outage scenario."""
+
+    offline_servers: int
+    client_queries: int
+    servfail_ratio: float
+    auth_queries_per_client: float
+    captured_queries: int
+
+
+def _run_scenario(offline: int, client_queries: int, seed: int) -> OutageOutcome:
+    """Simulate nl-w2020 with ``offline`` of the NS set forced down."""
+    descriptor = dataset("nl-w2020")
+    run = run_dataset(descriptor, seed=seed, client_queries=0)  # build world only
+    servers = run.server_sets["nl"].servers
+    for server in servers[:offline]:
+        server.online = False
+
+    domains = domains_of(run.vantage_zone)
+    generator = WorkloadGenerator("nl", domains, seed=seed)
+    pattern = DiurnalPattern(descriptor.start, descriptor.duration)
+    fleet = [m for m in run.fleet if m.provider == "Google"][:40]
+
+    servfails = 0
+    total = 0
+    auth_before = sum(m.resolver.stats.auth_queries for m in fleet)
+    per_member = max(1, client_queries // len(fleet))
+    for index, member in enumerate(fleet):
+        for query in generator.generate(index, per_member, pattern, junk_fraction=0.05):
+            rcode = member.resolver.resolve(
+                run.network, query.timestamp, query.qname, query.qtype
+            )
+            total += 1
+            if rcode is RCode.SERVFAIL:
+                servfails += 1
+    auth_after = sum(m.resolver.stats.auth_queries for m in fleet)
+    return OutageOutcome(
+        offline_servers=offline,
+        client_queries=total,
+        servfail_ratio=servfails / total if total else 0.0,
+        auth_queries_per_client=(auth_after - auth_before) / max(total, 1),
+        captured_queries=len(run.capture),
+    )
+
+
+def run(ctx: ExperimentContext, client_queries: int = 4000) -> Report:
+    report = Report(
+        "ext-outage", "Authoritative outage resilience at .nl (extension)"
+    )
+    volume = max(400, int(client_queries * ctx.scale))
+    outcomes: List[OutageOutcome] = []
+    total_servers = len(dataset("nl-w2020").servers)
+    for offline in range(total_servers + 1):
+        outcomes.append(_run_scenario(offline, volume, seed=ctx.seed))
+    for outcome in outcomes:
+        label = f"{outcome.offline_servers}/{total_servers} servers down"
+        expectation = "~0" if outcome.offline_servers < total_servers else "~1.0"
+        report.add(
+            f"{label}: SERVFAIL ratio", expectation, round(outcome.servfail_ratio, 3)
+        )
+        report.add(
+            f"{label}: auth queries/client",
+            "rises with retries" if outcome.offline_servers else "baseline",
+            round(outcome.auth_queries_per_client, 2),
+        )
+    report.series = {
+        "offline": [o.offline_servers for o in outcomes],
+        "servfail": [o.servfail_ratio for o in outcomes],
+        "retry_load": [o.auth_queries_per_client for o in outcomes],
+    }
+    report.notes.append(
+        "NS-set redundancy absorbs partial outages (Dyn/AWS motivation, "
+        "paper section 1); total outage collapses resolution"
+    )
+    return report

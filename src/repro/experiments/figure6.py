@@ -1,0 +1,54 @@
+"""Figure 6 — EDNS(0) UDP message-size CDF and truncation ratios."""
+
+from __future__ import annotations
+
+from ..analysis import bufsize_cdf, tcp_share, truncation_table
+from ..clouds import PROVIDERS
+from .context import ExperimentContext
+from .report import Report
+
+#: Paper section 4.4 (w2020, .nl): CDF anchors and truncation ratios.
+PAPER_FB_512_SHARE = 0.30        # ~30% of Facebook UDP queries at 512
+PAPER_GOOGLE_1232_SHARE = 0.24   # ~24% of Google queries at sizes <= 1232
+PAPER_TRUNCATION = {
+    "Facebook": 0.1716,
+    "Google": 0.0004,
+    "Microsoft": 0.0001,
+}
+
+
+def run(ctx: ExperimentContext) -> Report:
+    report = Report(
+        "figure6", "CDF of EDNS(0) UDP message size for .nl, w2020 (Figure 6)"
+    )
+    view, attribution = ctx.view("nl-w2020"), ctx.attribution("nl-w2020")
+
+    facebook = bufsize_cdf(view, attribution, "Facebook")
+    google = bufsize_cdf(view, attribution, "Google")
+    microsoft = bufsize_cdf(view, attribution, "Microsoft")
+    report.add("Facebook CDF @512", PAPER_FB_512_SHARE, round(facebook.at(512), 3))
+    report.add("Google CDF @1232", PAPER_GOOGLE_1232_SHARE, round(google.at(1232), 3))
+    report.add(
+        "Microsoft CDF @1232",
+        "similar to Google",
+        round(microsoft.at(1232), 3),
+    )
+
+    truncation = truncation_table(view, attribution, PROVIDERS)
+    for provider, paper_value in PAPER_TRUNCATION.items():
+        report.add(
+            f"{provider} truncated UDP answers",
+            paper_value,
+            round(truncation[provider], 4),
+        )
+    report.add(
+        "Facebook TCP share (consequence)",
+        0.14,
+        round(tcp_share(view, attribution, "Facebook"), 3),
+    )
+    report.series = {
+        "facebook_cdf": facebook.as_points(),
+        "google_cdf": google.as_points(),
+        "microsoft_cdf": microsoft.as_points(),
+    }
+    return report

@@ -1,0 +1,36 @@
+"""Network substrate: addresses, prefixes, AS registry, geography, and time."""
+
+from .addresses import (
+    AddressError,
+    IPAddress,
+    Prefix,
+    format_ipv4,
+    format_ipv6,
+    parse_ipv4,
+    parse_ipv6,
+)
+from .asregistry import ASInfo, ASRegistry
+from .clock import SimClock, timestamp_to_utc, utc_timestamp
+from .geo import GAZETTEER, LatencyModel, Site, great_circle_km, nearest_site
+from .prefixtrie import PrefixTrie
+
+__all__ = [
+    "AddressError",
+    "ASInfo",
+    "ASRegistry",
+    "GAZETTEER",
+    "IPAddress",
+    "LatencyModel",
+    "Prefix",
+    "PrefixTrie",
+    "SimClock",
+    "Site",
+    "format_ipv4",
+    "format_ipv6",
+    "great_circle_km",
+    "nearest_site",
+    "parse_ipv4",
+    "parse_ipv6",
+    "timestamp_to_utc",
+    "utc_timestamp",
+]

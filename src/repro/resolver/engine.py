@@ -1,0 +1,471 @@
+"""The recursive-resolver simulation engine.
+
+A :class:`SimResolver` turns *client* queries into the *authoritative*
+queries the paper's vantage points capture.  All of the paper's observed
+behavioural axes are explicit, configurable knobs on
+:class:`ResolverBehavior`:
+
+* **QNAME minimisation** (RFC 7816): below-zone queries become NS queries
+  for the next label — the mechanism behind the paper's Figure 2/3 NS-share
+  jump when Google deployed Q-min in Dec 2019;
+* **DNSSEC validation**: DO bit set, explicit DS queries for delegations,
+  periodic DNSKEY fetches — the DS/DNSKEY bars in Figure 2;
+* **dual-stack family choice**: fixed ratio or RTT-preferring (logistic in
+  the v4−v6 RTT gap) — Table 5 / Figure 5;
+* **EDNS0 buffer size** and **TCP fallback on TC** — Figure 6 and the
+  UDP/TCP split in Table 5;
+* **negative caching / aggressive NSEC** — the junk ratios of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..capture import Transport
+from ..dnscore import EdnsRecord, Message, Name, RCode, ROOT, RRType
+from ..netsim import IPAddress, Site
+from ..server import AuthoritativeServer, ServerSet
+from .cache import ResolverCache
+from .network import AuthorityNetwork
+
+
+@dataclass
+class ResolverBehavior:
+    """Behavioural profile of one resolver (or resolver pool).
+
+    The defaults model a plain, conservative ISP resolver: no Q-min, no
+    validation, EDNS0 4096, RTT-based dual-stack choice, TCP fallback on.
+    """
+
+    qname_minimization: bool = False
+    validates_dnssec: bool = False
+    explicit_ds_probability: float = 0.1  #: chance of an explicit DS query
+    #: per referral (the DS normally arrives in the referral itself; an
+    #: explicit query models revalidation).  Cloudflare is configured high,
+    #: matching its DS-heavy profile in Figure 2d.
+    edns_bufsize: int = 4096          #: 0 = send no OPT record at all.
+    set_do: bool = False              #: DO bit (validators set this).
+    family_policy: str = "rtt"        #: "rtt" | "fixed" | "v4only" | "v6only"
+    fixed_v6_ratio: float = 0.5       #: used when family_policy == "fixed".
+    rtt_sharpness_ms: float = 15.0    #: logistic scale for "rtt" policy.
+    v6_extra_rtt_ms: float = 0.0      #: per-resolver IPv6 path penalty (RTT).
+    server_exploration: float = 0.25  #: prob. of not picking the fastest NS.
+    tcp_fallback: bool = True
+    max_ttl: float = 86400.0
+    negative_ttl: float = 900.0
+    aggressive_nsec: bool = False
+    max_retries: int = 2              #: per-query retries on drop/timeout.
+    cyclic_chase_depth: int = 3       #: glue-chase depth on cyclic domains.
+
+    def __post_init__(self):
+        if self.family_policy not in ("rtt", "fixed", "v4only", "v6only"):
+            raise ValueError(f"unknown family policy {self.family_policy!r}")
+        if not 0.0 <= self.fixed_v6_ratio <= 1.0:
+            raise ValueError("fixed_v6_ratio must be in [0, 1]")
+
+
+@dataclass
+class ResolverStats:
+    """Counters for one resolver's authoritative-side activity."""
+
+    client_queries: int = 0
+    auth_queries: int = 0
+    tcp_retries: int = 0
+    servfails: int = 0
+    drops: int = 0
+
+
+class _Session:
+    """Mutable per-resolution clock so chained queries get realistic,
+    strictly increasing timestamps."""
+
+    __slots__ = ("now",)
+
+    def __init__(self, now: float):
+        self.now = now
+
+    def tick(self, ms: float) -> float:
+        self.now += ms / 1000.0
+        return self.now
+
+
+#: Delegation-cache TTLs (seconds).  TLD NS records carry multi-day TTLs;
+#: registrant delegations and DNSSEC material are cached for a day — the
+#: regime in which per-resolver overhead queries (NS refresh, DS, DNSKEY)
+#: stay a small fraction of the capture, as the paper observes.
+_TLD_DELEGATION_TTL = 172800.0
+_CUT_DELEGATION_TTL = 86400.0
+_DS_TTL = 86400.0
+_DNSKEY_TTL = 345600.0
+
+
+class SimResolver:
+    """One simulated recursive resolver.
+
+    Parameters
+    ----------
+    resolver_id:
+        Stable identity (used in reports and PTR synthesis).
+    site:
+        Physical location (drives anycast catchment and RTTs).
+    v4, v6:
+        Source addresses; at least one must be given.  A resolver with both
+        is *dual-stack* and chooses per query via ``behavior.family_policy``.
+    behavior:
+        The behavioural profile.
+    seed:
+        Per-resolver RNG seed (derived from the fleet seed upstream).
+    """
+
+    def __init__(
+        self,
+        resolver_id: str,
+        site: Site,
+        v4: Optional[IPAddress],
+        v6: Optional[IPAddress],
+        behavior: ResolverBehavior,
+        seed: int = 0,
+    ):
+        if v4 is None and v6 is None:
+            raise ValueError("resolver needs at least one source address")
+        if v4 is not None and v4.family != 4:
+            raise ValueError("v4 address has wrong family")
+        if v6 is not None and v6.family != 6:
+            raise ValueError("v6 address has wrong family")
+        if behavior.family_policy == "v4only" and v4 is None:
+            raise ValueError("v4only policy without a v4 address")
+        if behavior.family_policy == "v6only" and v6 is None:
+            raise ValueError("v6only policy without a v6 address")
+        self.resolver_id = resolver_id
+        self.site = site
+        self.v4 = v4
+        self.v6 = v6
+        self.behavior = behavior
+        self.stats = ResolverStats()
+        self.cache = ResolverCache(
+            max_ttl=behavior.max_ttl,
+            negative_ttl=behavior.negative_ttl,
+            aggressive_nsec=behavior.aggressive_nsec,
+        )
+        self._rng = np.random.default_rng(seed)
+        self._delegation_expiry: Dict[Name, float] = {}
+        self._ds_expiry: Dict[Name, float] = {}
+        self._dnskey_expiry: Dict[Name, float] = {}
+
+    # ------------------------------------------------------------------ API --
+
+    def resolve(self, network: AuthorityNetwork, now: float, qname: Name, qtype: RRType) -> RCode:
+        """Resolve one client query, emitting authoritative queries as a
+        side effect.  Returns the RCODE the client would receive."""
+        self.stats.client_queries += 1
+        session = _Session(now)
+        return self._resolve(network, session, qname, qtype, depth=0)
+
+    # --------------------------------------------------------------- internals --
+
+    def _resolve(
+        self,
+        network: AuthorityNetwork,
+        session: _Session,
+        qname: Name,
+        qtype: RRType,
+        depth: int,
+    ) -> RCode:
+        if depth > self.behavior.cyclic_chase_depth:
+            self.stats.servfails += 1
+            return RCode.SERVFAIL
+
+        cached = self.cache.get(session.now, qname, qtype)
+        if cached is not None:
+            return RCode.NOERROR
+        negative = self.cache.get_negative(session.now, qname)
+        if negative is not None:
+            return negative
+
+        tld = network.tld_of(qname)
+        if tld is None:
+            return self._resolve_at_root(network, session, qname, qtype)
+
+        # Make sure we know the TLD's nameservers (priming via the root).
+        self._ensure_tld_delegation(network, session, tld)
+
+        # RFC 8198: a cached NSEC range can prove NXDOMAIN with no query.
+        if self.cache.nsec_covers(tld, qname):
+            self.cache.put_negative(session.now, qname, RCode.NXDOMAIN)
+            return RCode.NXDOMAIN
+
+        tld_set = network.server_set_for(tld)
+        cut = network.registered_cut(qname)
+        if cut is None:
+            # Unregistered name: the TLD will answer NXDOMAIN ("junk").
+            send_name, send_type = self._minimized(qname, qtype, tld)
+            response = self._send(session, tld_set, send_name, send_type)
+            if response is None:
+                self.stats.servfails += 1
+                return RCode.SERVFAIL
+            self._learn_nsec(tld, response)
+            self.cache.put_negative(session.now, qname, RCode.NXDOMAIN)
+            return RCode.NXDOMAIN
+
+        if network.leaf.is_cyclic(cut):
+            # Cyclic dependency: the resolver can never learn the leaf NS
+            # addresses, so every attempt re-queries the TLD for the name
+            # itself (hoping for glue) and then chases the partner's NS
+            # names — the A/AAAA storm of paper section 4.2.1.
+            self._send(session, tld_set, qname, qtype)
+            self._chase_cyclic(network, session, cut, depth)
+            self.stats.servfails += 1
+            return RCode.SERVFAIL
+
+        # Registered: fetch/refresh the delegation if needed.
+        if self._delegation_expiry.get(cut, 0.0) <= session.now:
+            send_name, send_type = self._minimized(qname, qtype, tld, cut)
+            response = self._send(session, tld_set, send_name, send_type)
+            if response is None:
+                self.stats.servfails += 1
+                return RCode.SERVFAIL
+            self._delegation_expiry[cut] = session.now + _CUT_DELEGATION_TTL
+            if self.behavior.validates_dnssec:
+                self._validate_delegation(network, session, tld_set, tld, cut)
+
+        # Leaf phase (not captured): ask the domain's own servers.
+        answer = network.leaf.answer(cut, qname, qtype)
+        if answer.rcode is RCode.SERVFAIL:
+            self.stats.servfails += 1
+            return RCode.SERVFAIL
+        if answer.rcode is RCode.NXDOMAIN or not answer.exists:
+            # NXDOMAIN or NODATA: cache negatively either way (RFC 2308).
+            self.cache.put_negative(
+                session.now, qname, answer.rcode, ttl=max(answer.ttl, 60.0)
+            )
+            return answer.rcode
+        # Positive: cache under the leaf TTL (records themselves are not
+        # material to the captured traffic, so an empty marker suffices).
+        self._cache_positive_marker(session.now, qname, qtype, answer.ttl)
+        return RCode.NOERROR
+
+    def _cache_positive_marker(self, now: float, qname: Name, qtype: RRType, ttl: float) -> None:
+        from ..dnscore import ARdata, ResourceRecord
+
+        marker = ResourceRecord(qname, RRType.A, int(max(ttl, 1.0)), ARdata(0x7F000001))
+        self.cache.put(now, qname, qtype, [marker])
+
+    # -- root interaction -------------------------------------------------------
+
+    def _resolve_at_root(
+        self, network: AuthorityNetwork, session: _Session, qname: Name, qtype: RRType
+    ) -> RCode:
+        """Resolve a name whose TLD is not one of the simulated TLD vantage
+        zones: the root either refers us (existing TLD — outcome cached) or
+        answers NXDOMAIN (junk TLD, e.g. Chromium probes)."""
+        if self.cache.nsec_covers(ROOT, qname):
+            self.cache.put_negative(session.now, qname, RCode.NXDOMAIN)
+            return RCode.NXDOMAIN
+        send_name, send_type = self._minimized(qname, qtype, ROOT)
+        response = self._send(session, network.root, send_name, send_type)
+        if response is None:
+            self.stats.servfails += 1
+            return RCode.SERVFAIL
+        if response.rcode is RCode.NXDOMAIN:
+            self._learn_nsec(ROOT, response)
+            self.cache.put_negative(session.now, qname, RCode.NXDOMAIN)
+            return RCode.NXDOMAIN
+        # Existing TLD: treat resolution below it as out of scope (the
+        # delegated infrastructure is not simulated); cache the referral.
+        tld_label = qname.ancestor_with_labels(1)
+        first_visit = self._delegation_expiry.get(tld_label, 0.0) <= session.now
+        self._delegation_expiry[tld_label] = session.now + _TLD_DELEGATION_TTL
+        if first_visit and self.behavior.validates_dnssec:
+            # Validators chase the TLD's DS (at the root) and the root's
+            # own DNSKEY — the DS/DNSKEY bars in the paper's B-Root panels.
+            self._validate_delegation(network, session, network.root, ROOT, tld_label)
+        self._cache_positive_marker(session.now, qname, qtype, 3600.0)
+        return RCode.NOERROR
+
+    def _ensure_tld_delegation(
+        self, network: AuthorityNetwork, session: _Session, tld: Name
+    ) -> None:
+        """Query the root for the TLD delegation when not cached — the only
+        regular ccTLD-driven traffic the root sees from a warm resolver."""
+        if self._delegation_expiry.get(tld, 0.0) > session.now:
+            return
+        send_name, send_type = self._minimized(tld, RRType.NS, ROOT)
+        response = self._send(session, network.root, send_name, send_type)
+        if response is not None:
+            self._delegation_expiry[tld] = session.now + _TLD_DELEGATION_TTL
+            if self.behavior.validates_dnssec:
+                self._validate_delegation(
+                    network, session, network.root, ROOT, tld
+                )
+
+    # -- DNSSEC ---------------------------------------------------------------
+
+    def _validate_delegation(
+        self,
+        network: AuthorityNetwork,
+        session: _Session,
+        parent_set: ServerSet,
+        parent: Name,
+        child: Name,
+    ) -> None:
+        """Validating-resolver follow-up queries after taking a referral:
+        an explicit DS query for the child (to the parent — what makes DS
+        the signature validator type in Figure 2), and a DNSKEY fetch for
+        the parent zone itself when ours has expired."""
+        if (
+            self._ds_expiry.get(child, 0.0) <= session.now
+            and self._rng.random() < self.behavior.explicit_ds_probability
+        ):
+            self._send(session, parent_set, child, RRType.DS)
+            self._ds_expiry[child] = session.now + _DS_TTL
+        if self._dnskey_expiry.get(parent, 0.0) <= session.now:
+            self._send(session, parent_set, parent, RRType.DNSKEY)
+            self._dnskey_expiry[parent] = session.now + _DNSKEY_TTL
+
+    # -- QNAME minimisation --------------------------------------------------------
+
+    def _minimized(
+        self,
+        qname: Name,
+        qtype: RRType,
+        zone: Name,
+        cut: Optional[Name] = None,
+    ) -> Tuple[Name, RRType]:
+        """What to actually send to ``zone``'s servers for ``qname``.
+
+        Without Q-min: the full name and type (classic leakage).
+        With Q-min: the name stripped to one label more than the zone, with
+        type NS — unless that minimised name *is* the full qname, in which
+        case the original type is used (RFC 7816 section 2).
+        """
+        if not self.behavior.qname_minimization:
+            return qname, qtype
+        target = cut if cut is not None else qname.ancestor_with_labels(
+            min(zone.label_count + 1, qname.label_count)
+        )
+        if target == qname:
+            return qname, qtype
+        return target, RRType.NS
+
+    # -- cyclic-dependency chase ------------------------------------------------------
+
+    def _chase_cyclic(
+        self, network: AuthorityNetwork, session: _Session, domain: Name, depth: int
+    ) -> None:
+        """Glue-chase a cyclically dependent domain (paper section 4.2.1).
+
+        The domain's NS names live under its partner domain, so the resolver
+        issues A/AAAA queries for those NS names back at the TLD — which hit
+        the partner's delegation, whose NS names live back under the first
+        domain, and so on until the depth limit.  This is the mechanism that
+        made Google emit millions of A/AAAA queries to `.nz` in Feb 2020.
+        """
+        partner = network.leaf.cyclic_partner(domain)
+        if partner is None:
+            return
+        for ns_label in (b"ns1", b"ns2"):
+            ns_name = partner.prepend(ns_label)
+            for addr_type in (RRType.A, RRType.AAAA):
+                self._resolve(network, session, ns_name, addr_type, depth + 1)
+
+    # -- transport ------------------------------------------------------------------
+
+    def _choose_family(self, server_set: ServerSet, server: AuthoritativeServer) -> int:
+        policy = self.behavior.family_policy
+        if policy == "v4only" or self.v6 is None:
+            return 4
+        if policy == "v6only" or self.v4 is None:
+            return 6
+        if policy == "fixed":
+            return 6 if self._rng.random() < self.behavior.fixed_v6_ratio else 4
+        # "rtt": logistic preference in the v4−v6 RTT gap.
+        rtt4 = server_set.rtt_ms(server, self.site, 4)
+        rtt6 = server_set.rtt_ms(server, self.site, 6) + self.behavior.v6_extra_rtt_ms
+        gap = (rtt4 - rtt6) / max(self.behavior.rtt_sharpness_ms, 1e-6)
+        p6 = 1.0 / (1.0 + np.exp(-gap))
+        return 6 if self._rng.random() < p6 else 4
+
+    def _choose_server(
+        self, server_set: ServerSet, exclude: frozenset = frozenset()
+    ) -> AuthoritativeServer:
+        """Mostly the fastest server, with exploration (Müller et al. 2017).
+
+        ``exclude`` holds servers that already timed out this resolution —
+        a real resolver moves to another NS rather than hammering a dead
+        one (the behaviour that makes NS-set redundancy survive outages).
+        """
+        candidates = [s for s in server_set.servers if s.server_id not in exclude]
+        if not candidates:
+            candidates = list(server_set.servers)
+        if len(candidates) > 1 and self._rng.random() < self.behavior.server_exploration:
+            return candidates[int(self._rng.integers(len(candidates)))]
+        family = 4 if self.v4 is not None else 6
+        return min(
+            candidates, key=lambda s: server_set.rtt_ms(s, self.site, family)
+        )
+
+    def _send(
+        self,
+        session: _Session,
+        server_set: ServerSet,
+        qname: Name,
+        qtype: RRType,
+    ) -> Optional[Message]:
+        """One authoritative exchange: UDP, then TCP on truncation, with
+        bounded retries on RRL drops."""
+        behavior = self.behavior
+        failed: set = set()
+        for attempt in range(behavior.max_retries + 1):
+            server = self._choose_server(server_set, frozenset(failed))
+            family = self._choose_family(server_set, server)
+            src = self.v4 if family == 4 else self.v6
+            edns = (
+                EdnsRecord(
+                    udp_payload_size=behavior.edns_bufsize,
+                    dnssec_ok=behavior.set_do,
+                )
+                if behavior.edns_bufsize > 0
+                else None
+            )
+            query = Message.make_query(
+                qname, qtype, msg_id=int(self._rng.integers(65536)), edns=edns
+            )
+            rtt = server_set.rtt_ms(server, self.site, family)
+            if family == 6:
+                rtt += behavior.v6_extra_rtt_ms
+            self.stats.auth_queries += 1
+            response = server.handle_query(
+                session.tick(rtt), src, Transport.UDP, query
+            )
+            if response is None:
+                # Drop (RRL or outage) → timeout, try another server.
+                self.stats.drops += 1
+                failed.add(server.server_id)
+                session.tick(400.0)  # timeout before retry
+                continue
+            if response.is_truncated() and behavior.tcp_fallback:
+                tcp_rtt = rtt * float(1.0 + 0.05 * self._rng.random())
+                self.stats.auth_queries += 1
+                self.stats.tcp_retries += 1
+                response = server.handle_query(
+                    session.tick(2 * tcp_rtt),
+                    src,
+                    Transport.TCP,
+                    query,
+                    tcp_rtt_ms=tcp_rtt,
+                )
+            return response
+        return None
+
+    # -- NSEC learning ------------------------------------------------------------------
+
+    def _learn_nsec(self, zone: Name, response: Message) -> None:
+        """Harvest NSEC ranges from a negative answer (for RFC 8198)."""
+        if not self.behavior.aggressive_nsec:
+            return
+        for record in response.authorities:
+            if record.rrtype is RRType.NSEC:
+                self.cache.add_nsec(zone, record.name, record.rdata.next_name)

@@ -1,0 +1,162 @@
+"""The authority-side network a resolver resolves against.
+
+An :class:`AuthorityNetwork` bundles the simulated authoritative
+infrastructure: the root server set, TLD server sets (the capture vantage
+points), and a :class:`SyntheticLeafAuthority` standing in for the millions
+of second-level-domain nameservers whose traffic the paper does not observe.
+
+Leaf authorities are answered *synthetically* (no Message round-trip) — their
+traffic is never captured, so only their outcomes (answer vs SERVFAIL, TTLs)
+matter to the resolver's behaviour toward the captured servers.  The leaf
+layer is also where the Feb-2020 `.nz` cyclic-dependency misconfiguration
+(paper section 4.2.1) is injected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from ..dnscore import Name, RCode, ROOT, RRType
+from ..server import ServerSet
+
+
+@dataclass
+class LeafAnswer:
+    """Outcome of a query to an (unobserved) leaf authority."""
+
+    rcode: RCode
+    ttl: float = 3600.0
+    exists: bool = True
+
+
+@dataclass
+class CyclicPair:
+    """Two domains whose NS records point into each other (a cyclic
+    dependency, Pappas et al. 2004).  Resolution of either can never
+    complete: each attempt forces address ("glue") queries for the
+    partner's nameservers back at the TLD."""
+
+    first: Name
+    second: Name
+
+    def partner(self, domain: Name) -> Optional[Name]:
+        if domain == self.first:
+            return self.second
+        if domain == self.second:
+            return self.first
+        return None
+
+
+class SyntheticLeafAuthority:
+    """Deterministic stand-in for all delegated-domain nameservers.
+
+    Existence rules (hash-based, stable across runs):
+
+    * every delegated domain has A records; ~60% have AAAA;
+    * ``www.<domain>`` exists; other single-label subdomains mostly don't;
+    * MX/TXT exist for ~70%/50% of domains.
+    """
+
+    def __init__(self, cyclic_pairs: Sequence[CyclicPair] = ()):
+        self.cyclic_pairs = list(cyclic_pairs)
+        self._cyclic_domains: Set[Name] = set()
+        for pair in self.cyclic_pairs:
+            self._cyclic_domains.add(pair.first)
+            self._cyclic_domains.add(pair.second)
+
+    def is_cyclic(self, domain: Name) -> bool:
+        return domain in self._cyclic_domains
+
+    def cyclic_partner(self, domain: Name) -> Optional[Name]:
+        for pair in self.cyclic_pairs:
+            partner = pair.partner(domain)
+            if partner is not None:
+                return partner
+        return None
+
+    @staticmethod
+    def _stable_hash(name: Name, salt: str) -> int:
+        import zlib
+
+        return zlib.crc32((salt + name.to_text().lower()).encode())
+
+    def answer(self, domain: Name, qname: Name, qtype: RRType) -> LeafAnswer:
+        """Answer a query for ``qname`` under delegated ``domain``."""
+        if self.is_cyclic(domain):
+            return LeafAnswer(RCode.SERVFAIL, ttl=0.0, exists=False)
+        h = self._stable_hash(qname, qtype.name)
+        if qname == domain:
+            if qtype is RRType.A:
+                return LeafAnswer(RCode.NOERROR)
+            if qtype is RRType.AAAA:
+                exists = h % 100 < 60
+                return LeafAnswer(RCode.NOERROR, exists=exists)
+            if qtype is RRType.MX:
+                return LeafAnswer(RCode.NOERROR, exists=h % 100 < 70)
+            if qtype is RRType.TXT:
+                return LeafAnswer(RCode.NOERROR, exists=h % 100 < 50)
+            if qtype in (RRType.NS, RRType.SOA, RRType.DNSKEY):
+                return LeafAnswer(RCode.NOERROR)
+            return LeafAnswer(RCode.NOERROR, exists=False)
+        # Subdomain: www always exists; others exist 30% of the time.
+        first_label = qname.labels[0] if qname.labels else b""
+        exists = first_label == b"www" or self._stable_hash(qname, "sub") % 100 < 30
+        if not exists:
+            return LeafAnswer(RCode.NXDOMAIN, exists=False)
+        if qtype in (RRType.A, RRType.AAAA):
+            v6_exists = qtype is RRType.A or h % 100 < 60
+            return LeafAnswer(RCode.NOERROR, exists=v6_exists)
+        return LeafAnswer(RCode.NOERROR, exists=h % 100 < 20)
+
+
+class AuthorityNetwork:
+    """All authoritative infrastructure a resolver can reach.
+
+    Parameters
+    ----------
+    root:
+        The root :class:`ServerSet` (captured only in B-Root scenarios).
+    tlds:
+        Mapping of TLD origin to its :class:`ServerSet` (the ccTLD
+        vantage points).
+    leaf:
+        The synthetic leaf authority.
+    """
+
+    def __init__(
+        self,
+        root: ServerSet,
+        tlds: Dict[Name, ServerSet],
+        leaf: Optional[SyntheticLeafAuthority] = None,
+    ):
+        self.root = root
+        self.tlds = dict(tlds)
+        self.leaf = leaf if leaf is not None else SyntheticLeafAuthority()
+
+    def server_set_for(self, origin: Name) -> Optional[ServerSet]:
+        """The simulated server set authoritative for ``origin`` (root or a
+        TLD), or None for zones below the simulated layer."""
+        if origin == ROOT:
+            return self.root
+        return self.tlds.get(origin)
+
+    def tld_of(self, qname: Name) -> Optional[Name]:
+        """The simulated TLD covering ``qname``, if any."""
+        if qname.is_root():
+            return None
+        tld = qname.ancestor_with_labels(1)
+        return tld if tld in self.tlds else None
+
+    def registered_cut(self, qname: Name) -> Optional[Name]:
+        """The delegated (registered-domain) zone cut covering ``qname``
+        within its simulated TLD, or None.
+
+        Uses the TLD zone's actual delegation table, so the resolver's
+        control flow mirrors what referrals would teach it.
+        """
+        tld = self.tld_of(qname)
+        if tld is None:
+            return None
+        zone = self.tlds[tld].servers[0].zone
+        return zone.covering_delegation(qname)

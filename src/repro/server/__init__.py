@@ -1,0 +1,13 @@
+"""Authoritative server simulation with anycast, RRL, and capture taps."""
+
+from .authoritative import AuthoritativeServer, ServerSet, ServerStats, TCP_MAX_SIZE
+from .rrl import RateLimiter, RRLConfig
+
+__all__ = [
+    "AuthoritativeServer",
+    "RateLimiter",
+    "RRLConfig",
+    "ServerSet",
+    "ServerStats",
+    "TCP_MAX_SIZE",
+]

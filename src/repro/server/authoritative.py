@@ -1,0 +1,244 @@
+"""Authoritative DNS server simulation.
+
+An :class:`AuthoritativeServer` wraps a :class:`~repro.zones.zone.Zone`,
+answers :class:`~repro.dnscore.message.Message` queries with proper RCODE /
+referral / truncation semantics, and taps every exchange into a
+:class:`~repro.capture.store.CaptureStore` — the simulated equivalent of the
+pcap collection the paper's vantage points ran.
+
+A :class:`ServerSet` models a vantage point's NS set (e.g. `.nl`'s servers
+"A" and "B"), each server possibly anycast across multiple sites.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..capture import CaptureStore, QueryRecord, Transport
+from ..dnscore import Message, Name, RCode, RRType
+from ..dnscore.edns import EdnsRecord, effective_udp_limit
+from ..netsim import IPAddress, LatencyModel, Site, nearest_site
+from ..zones import LookupOutcome, Zone
+from .rrl import RateLimiter, RRLConfig
+
+#: Maximum TCP message size (2-octet length prefix bound).
+TCP_MAX_SIZE = 65535
+
+
+@dataclass
+class ServerStats:
+    """Operational counters for one authoritative server."""
+
+    queries: int = 0
+    truncated: int = 0
+    rrl_dropped: int = 0
+    rrl_slipped: int = 0
+    by_rcode: Dict[int, int] = field(default_factory=dict)
+
+
+class AuthoritativeServer:
+    """One authoritative server (one NS-set entry), possibly anycast.
+
+    Parameters
+    ----------
+    server_id:
+        Capture identity, e.g. ``"nl-a"``.
+    zone:
+        The zone this server is authoritative for.
+    sites:
+        Anycast instance locations.  A single-entry list models unicast.
+    capture:
+        Store receiving one :class:`QueryRecord` per handled query.  Pass
+        ``None`` for servers whose traffic is not collected (the paper
+        analyses 2 of 4 `.nl` and 6 of 7 `.nz` servers).
+    rrl:
+        Optional response-rate-limiting configuration.
+    """
+
+    def __init__(
+        self,
+        server_id: str,
+        zone: Zone,
+        sites: Sequence[Site],
+        capture: Optional[CaptureStore] = None,
+        rrl: Optional[RRLConfig] = None,
+    ):
+        if not sites:
+            raise ValueError("server needs at least one site")
+        self.server_id = server_id
+        self.zone = zone
+        self.sites = list(sites)
+        self.capture = capture
+        self.stats = ServerStats()
+        self._limiter = RateLimiter(rrl) if rrl is not None else None
+        self._catchment_cache: Dict[str, Site] = {}
+        #: When False, the server answers nothing (models a DoS outage —
+        #: the paper's motivating scenario, section 1).  Queries sent to an
+        #: offline server time out at the resolver; nothing is captured.
+        self.online = True
+
+    @property
+    def is_anycast(self) -> bool:
+        return len(self.sites) > 1
+
+    def catchment_site(self, client_site: Site) -> Site:
+        """Which anycast instance a client at ``client_site`` reaches."""
+        site = self._catchment_cache.get(client_site.code)
+        if site is None:
+            site = nearest_site(client_site, self.sites)
+            self._catchment_cache[client_site.code] = site
+        return site
+
+    # -- query handling --------------------------------------------------------
+
+    def handle_query(
+        self,
+        timestamp: float,
+        src: IPAddress,
+        transport: Transport,
+        query: Message,
+        tcp_rtt_ms: Optional[float] = None,
+    ) -> Optional[Message]:
+        """Answer one query and record the exchange.
+
+        Returns the response message, or ``None`` if RRL dropped it.
+        ``tcp_rtt_ms`` is the handshake RTT the capture would measure and
+        must be provided exactly when ``transport`` is TCP.
+        """
+        if (transport is Transport.TCP) != (tcp_rtt_ms is not None):
+            raise ValueError("tcp_rtt_ms must accompany TCP queries only")
+        if not self.online:
+            return None
+
+        question = query.question
+        response = self._build_response(query)
+
+        if self._limiter is not None and transport is Transport.UDP:
+            verdict = self._limiter.check(src, timestamp)
+            if verdict == RateLimiter.DROP:
+                self.stats.rrl_dropped += 1
+                return None
+            if verdict == RateLimiter.SLIP:
+                self.stats.rrl_slipped += 1
+                response = query.make_response_skeleton()
+                response.flags = type(response.flags)(
+                    qr=True, aa=True, tc=True, rd=query.flags.rd
+                )
+
+        limit = (
+            effective_udp_limit(query.edns)
+            if transport is Transport.UDP
+            else TCP_MAX_SIZE
+        )
+        wire = response.to_wire()
+        if len(wire) > limit:
+            # Truncate: strip records, set TC, and let the client retry TCP.
+            from dataclasses import replace as _replace
+
+            sent = query.make_response_skeleton()
+            sent.flags = _replace(response.flags, tc=True)
+            sent.edns = response.edns
+            wire = sent.to_wire()
+        else:
+            sent = response
+
+        self.stats.queries += 1
+        if sent.is_truncated():
+            self.stats.truncated += 1
+        self.stats.by_rcode[int(sent.rcode)] = (
+            self.stats.by_rcode.get(int(sent.rcode), 0) + 1
+        )
+
+        if self.capture is not None:
+            self.capture.append(
+                QueryRecord(
+                    timestamp=timestamp,
+                    server_id=self.server_id,
+                    src=src,
+                    transport=transport,
+                    qname=question.qname.to_text(),
+                    qtype=int(question.qtype),
+                    rcode=int(sent.rcode),
+                    edns_bufsize=(
+                        query.edns.udp_payload_size if query.edns is not None else 0
+                    ),
+                    do_bit=query.edns.dnssec_ok if query.edns is not None else False,
+                    response_size=len(wire),
+                    truncated=sent.is_truncated(),
+                    tcp_rtt_ms=tcp_rtt_ms,
+                )
+            )
+        return sent
+
+    def _build_response(self, query: Message) -> Message:
+        question = query.question
+        response = query.make_response_skeleton()
+        if query.edns is not None:
+            response.edns = EdnsRecord(
+                udp_payload_size=4096, dnssec_ok=query.edns.dnssec_ok
+            )
+        dnssec_ok = query.edns.dnssec_ok if query.edns is not None else False
+
+        if not question.qname.is_subdomain_of(self.zone.origin):
+            response.set_rcode(RCode.REFUSED)
+            return response
+
+        result = self.zone.lookup(question.qname, question.qtype, dnssec_ok)
+        response.answers.extend(result.answers)
+        response.authorities.extend(result.authorities)
+        response.additionals.extend(result.additionals)
+        if result.outcome is LookupOutcome.NXDOMAIN:
+            response.set_rcode(RCode.NXDOMAIN)
+        from dataclasses import replace as _replace
+
+        # Authoritative answer for everything except referrals.
+        response.flags = _replace(
+            response.flags, aa=result.outcome is not LookupOutcome.DELEGATION
+        )
+        return response
+
+
+class ServerSet:
+    """A vantage point's authoritative NS set with a shared latency model.
+
+    Provides the operations the resolver side needs: list the servers,
+    find each server's catchment for a client site, and compute RTTs.
+    """
+
+    def __init__(self, servers: Sequence[AuthoritativeServer], latency: LatencyModel):
+        if not servers:
+            raise ValueError("empty server set")
+        origins = {server.zone.origin for server in servers}
+        if len(origins) != 1:
+            raise ValueError("all servers in a set must serve the same zone")
+        self.servers = list(servers)
+        self.latency = latency
+
+    @property
+    def origin(self) -> Name:
+        return self.servers[0].zone.origin
+
+    def __len__(self) -> int:
+        return len(self.servers)
+
+    def __iter__(self):
+        return iter(self.servers)
+
+    def by_id(self, server_id: str) -> AuthoritativeServer:
+        for server in self.servers:
+            if server.server_id == server_id:
+                return server
+        raise KeyError(server_id)
+
+    def rtt_ms(
+        self, server: AuthoritativeServer, client_site: Site, family: int
+    ) -> float:
+        """RTT from a client site to the server's catchment instance."""
+        return self.latency.rtt_ms(
+            client_site, server.catchment_site(client_site), family
+        )
+
+    def fastest(self, client_site: Site, family: int) -> AuthoritativeServer:
+        """The lowest-RTT server for this client site and family."""
+        return min(self.servers, key=lambda s: self.rtt_ms(s, client_site, family))

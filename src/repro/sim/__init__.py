@@ -1,0 +1,5 @@
+"""End-to-end dataset simulation driver."""
+
+from .driver import DatasetRun, run_dataset
+
+__all__ = ["DatasetRun", "run_dataset"]

@@ -1,0 +1,210 @@
+"""End-to-end dataset simulation.
+
+:func:`run_dataset` executes one capture snapshot: it builds the vantage's
+zone and authoritative deployment, instantiates the cloud-provider and
+background resolver fleets, drives client query streams through every
+resolver, and returns the captured traffic plus everything the analysis
+layer needs (AS registry, PTR table, fleet metadata).
+
+This is the reproduction's stand-in for "one week of pcap collection at the
+vantage point".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace as dc_replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..capture import CaptureStore
+from ..clouds import (
+    FleetResolver,
+    PTRTable,
+    build_all_fleets,
+    build_facebook_ptr_table,
+)
+from ..dnscore import Name, ROOT
+from ..netsim import ASRegistry, GAZETTEER, LatencyModel
+from ..resolver import (
+    AuthorityNetwork,
+    CyclicPair,
+    ResolverBehavior,
+    SyntheticLeafAuthority,
+)
+from ..server import AuthoritativeServer, ServerSet
+from ..workload import DatasetDescriptor, DiurnalPattern, WorkloadGenerator
+from ..zones import (
+    DEFAULT_TLDS,
+    Zone,
+    ZoneSpec,
+    build_registry_zone,
+    build_root_zone,
+    domains_of,
+)
+
+
+@dataclass
+class DatasetRun:
+    """Everything produced by simulating one dataset."""
+
+    descriptor: DatasetDescriptor
+    capture: CaptureStore          #: traffic at the captured vantage servers
+    registry: ASRegistry
+    fleet: List[FleetResolver]
+    ptr_table: PTRTable
+    network: AuthorityNetwork
+    vantage_zone: Optional[Zone]
+    server_sets: Dict[str, ServerSet]
+    client_queries_run: int = 0
+
+    @property
+    def vantage_server_ids(self) -> List[str]:
+        return [spec.server_id for spec in self.descriptor.servers if spec.captured]
+
+
+def _build_vantage_zone(descriptor: DatasetDescriptor) -> Optional[Zone]:
+    if descriptor.vantage == "root":
+        return None
+    import zlib
+
+    spec = ZoneSpec(
+        origin=descriptor.vantage,
+        second_level_count=descriptor.zone_second_level,
+        third_level_count=descriptor.zone_third_level,
+        signed_fraction=0.55 if descriptor.vantage == "nl" else 0.35,
+        # zlib.crc32, not hash(): str hashing is salted per process and
+        # would break cross-run determinism of the zone content.
+        seed=zlib.crc32(descriptor.vantage.encode()) % (2**31),
+    )
+    return build_registry_zone(spec)
+
+
+def _build_servers(
+    descriptor: DatasetDescriptor,
+    zone: Zone,
+    capture: Optional[CaptureStore],
+    latency: LatencyModel,
+) -> ServerSet:
+    servers = [
+        AuthoritativeServer(
+            spec.server_id,
+            zone,
+            [GAZETTEER[code] for code in spec.site_codes],
+            capture=capture if spec.captured else None,
+        )
+        for spec in descriptor.servers
+    ]
+    return ServerSet(servers, latency)
+
+
+def _apply_qmin_override(fleet: Sequence[FleetResolver], enabled: bool) -> None:
+    """Force Google's Q-min switch (the monthly Figure 3 runs)."""
+    for member in fleet:
+        if member.provider == "Google":
+            behavior = member.resolver.behavior
+            member.resolver.behavior = dc_replace(
+                behavior, qname_minimization=enabled
+            )
+
+
+def run_dataset(
+    descriptor: DatasetDescriptor,
+    seed: int = 20201027,
+    client_queries: Optional[int] = None,
+) -> DatasetRun:
+    """Simulate one dataset and return its capture.
+
+    ``client_queries`` overrides the descriptor's volume (tests use small
+    values; benchmarks use the descriptor default).
+    """
+    latency = LatencyModel()
+    rng = np.random.default_rng(seed)
+
+    # -- authoritative side ---------------------------------------------------
+    vantage_zone = _build_vantage_zone(descriptor)
+    capture = CaptureStore()
+    server_sets: Dict[str, ServerSet] = {}
+
+    root_zone = build_root_zone(seed=7)
+    if descriptor.vantage == "root":
+        root_set = _build_servers(descriptor, root_zone, capture, latency)
+        tld_sets: Dict[Name, ServerSet] = {}
+    else:
+        root_set = ServerSet(
+            [
+                AuthoritativeServer(
+                    "root-x", root_zone,
+                    [GAZETTEER[c] for c in ("LAX", "AMS", "SIN")],
+                    capture=None,
+                )
+            ],
+            latency,
+        )
+        tld_set = _build_servers(descriptor, vantage_zone, capture, latency)
+        tld_sets = {vantage_zone.origin: tld_set}
+        server_sets[descriptor.vantage] = tld_set
+    server_sets["root"] = root_set
+
+    # The Feb-2020 .nz misconfiguration: two domains in a cyclic NS loop.
+    storm_domains: List[Name] = []
+    leaf = SyntheticLeafAuthority()
+    if descriptor.cyclic_event and vantage_zone is not None:
+        pair_domains = domains_of(vantage_zone)[:2]
+        leaf = SyntheticLeafAuthority([CyclicPair(pair_domains[0], pair_domains[1])])
+        storm_domains = list(pair_domains)
+
+    network = AuthorityNetwork(root=root_set, tlds=tld_sets, leaf=leaf)
+
+    # -- resolver fleets ---------------------------------------------------------
+    fleet, registry = build_all_fleets(descriptor.vantage, descriptor.year, seed)
+    if descriptor.providers_only is not None:
+        fleet = [m for m in fleet if m.provider in descriptor.providers_only]
+    if descriptor.qmin_override is not None:
+        _apply_qmin_override(fleet, descriptor.qmin_override)
+    ptr_table = build_facebook_ptr_table(fleet)
+
+    # -- client workload ---------------------------------------------------------
+    domains = domains_of(vantage_zone) if vantage_zone is not None else []
+    generator = WorkloadGenerator(
+        vantage=descriptor.vantage,
+        domains=domains,
+        tld_names=list(DEFAULT_TLDS),
+        seed=seed,
+    )
+    pattern = DiurnalPattern(descriptor.start, descriptor.duration)
+    total_queries = descriptor.client_queries if client_queries is None else client_queries
+    total_weight = sum(m.weight for m in fleet)
+    if total_weight <= 0:
+        raise ValueError("fleet has no traffic weight")
+
+    run_count = 0
+    for index, member in enumerate(fleet):
+        count = int(round(total_queries * member.weight / total_weight))
+        if count <= 0:
+            continue
+        storm_fraction = 0.0
+        if storm_domains and member.provider == "Google":
+            storm_fraction = 0.25
+        for query in generator.generate(
+            resolver_index=index,
+            count=count,
+            pattern=pattern,
+            junk_fraction=member.junk_fraction,
+            storm_domains=storm_domains,
+            storm_fraction=storm_fraction,
+        ):
+            member.resolver.resolve(network, query.timestamp, query.qname, query.qtype)
+            run_count += 1
+
+    return DatasetRun(
+        descriptor=descriptor,
+        capture=capture,
+        registry=registry,
+        fleet=fleet,
+        ptr_table=ptr_table,
+        network=network,
+        vantage_zone=vantage_zone,
+        server_sets=server_sets,
+        client_queries_run=run_count,
+    )

@@ -1,0 +1,223 @@
+"""Zone master-file (presentation format) serialisation and parsing.
+
+RFC 1035 section 5 master files, restricted to the constructs the
+simulator's zones actually use: ``$ORIGIN``/``$TTL`` directives, absolute
+and origin-relative owner names, ``@`` for the origin, comments, and the
+RR types implemented in :mod:`repro.dnscore.rdata`.
+
+This lets simulated zones round-trip through the same artifact a registry
+operator would publish, and lets tests pin zone content in readable form.
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Iterator, List, Optional, TextIO, Tuple, Union
+
+from ..dnscore import (
+    AAAARdata,
+    ARdata,
+    CNAMERdata,
+    DNSKEYRdata,
+    DSRdata,
+    MXRdata,
+    Name,
+    NSRdata,
+    PTRRdata,
+    Rdata,
+    ResourceRecord,
+    RRType,
+    SOARdata,
+    TXTRdata,
+)
+from ..netsim import parse_ipv4, parse_ipv6
+from .zone import RRset, Zone
+
+
+class ZoneFileError(ValueError):
+    """Raised for malformed master-file content."""
+
+
+def _parse_name(token: str, origin: Name) -> Name:
+    if token == "@":
+        return origin
+    if token.endswith("."):
+        return Name.from_text(token)
+    # Relative name: append the origin.
+    return Name(Name.from_text(token).labels + origin.labels)
+
+
+def _strip_comment(line: str) -> str:
+    out = []
+    in_quotes = False
+    for ch in line:
+        if ch == '"':
+            in_quotes = not in_quotes
+        if ch == ";" and not in_quotes:
+            break
+        out.append(ch)
+    return "".join(out)
+
+
+def _split_quoted(text: str) -> List[str]:
+    """Split on whitespace, keeping quoted strings as single tokens."""
+    tokens: List[str] = []
+    current: List[str] = []
+    in_quotes = False
+    for ch in text:
+        if ch == '"':
+            in_quotes = not in_quotes
+            current.append(ch)
+        elif ch.isspace() and not in_quotes:
+            if current:
+                tokens.append("".join(current))
+                current = []
+        else:
+            current.append(ch)
+    if in_quotes:
+        raise ZoneFileError("unterminated quoted string")
+    if current:
+        tokens.append("".join(current))
+    return tokens
+
+
+def _parse_rdata(rrtype: RRType, tokens: List[str], origin: Name) -> Rdata:
+    try:
+        if rrtype is RRType.A:
+            return ARdata(parse_ipv4(tokens[0]))
+        if rrtype is RRType.AAAA:
+            return AAAARdata(parse_ipv6(tokens[0]))
+        if rrtype is RRType.NS:
+            return NSRdata(_parse_name(tokens[0], origin))
+        if rrtype is RRType.CNAME:
+            return CNAMERdata(_parse_name(tokens[0], origin))
+        if rrtype is RRType.PTR:
+            return PTRRdata(_parse_name(tokens[0], origin))
+        if rrtype is RRType.MX:
+            return MXRdata(int(tokens[0]), _parse_name(tokens[1], origin))
+        if rrtype is RRType.TXT:
+            strings = []
+            for token in tokens:
+                if not (token.startswith('"') and token.endswith('"')):
+                    raise ZoneFileError(f"TXT strings must be quoted: {token!r}")
+                strings.append(token[1:-1].encode("latin-1"))
+            return TXTRdata(tuple(strings))
+        if rrtype is RRType.SOA:
+            return SOARdata(
+                _parse_name(tokens[0], origin),
+                _parse_name(tokens[1], origin),
+                int(tokens[2]), int(tokens[3]), int(tokens[4]),
+                int(tokens[5]), int(tokens[6]),
+            )
+        if rrtype is RRType.DS:
+            return DSRdata(
+                int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                bytes.fromhex("".join(tokens[3:])),
+            )
+        if rrtype is RRType.DNSKEY:
+            return DNSKEYRdata(
+                int(tokens[0]), int(tokens[1]), int(tokens[2]),
+                base64.b64decode("".join(tokens[3:])),
+            )
+    except ZoneFileError:
+        raise
+    except (IndexError, ValueError) as exc:
+        raise ZoneFileError(f"bad {rrtype.name} rdata {tokens!r}: {exc}") from exc
+    raise ZoneFileError(f"unsupported RR type in zone file: {rrtype.name}")
+
+
+def parse_records(
+    text: str, origin: Name, default_ttl: int = 3600
+) -> Iterator[ResourceRecord]:
+    """Parse master-file text into resource records.
+
+    Supports ``$ORIGIN`` and ``$TTL`` directives, ``@``, relative names,
+    per-record TTLs, optional class token (``IN``), and ``;`` comments.
+    Owner-name inheritance (blank owner column) is supported when the line
+    starts with whitespace.
+    """
+    ttl = default_ttl
+    last_owner: Optional[Name] = None
+    for raw_line in text.splitlines():
+        inherits_owner = raw_line[:1].isspace()
+        line = _strip_comment(raw_line).strip()
+        if not line:
+            continue
+        tokens = _split_quoted(line)
+        if tokens[0] == "$ORIGIN":
+            origin = Name.from_text(tokens[1])
+            continue
+        if tokens[0] == "$TTL":
+            ttl = int(tokens[1])
+            continue
+        if tokens[0].startswith("$"):
+            raise ZoneFileError(f"unsupported directive {tokens[0]}")
+
+        if inherits_owner:
+            if last_owner is None:
+                raise ZoneFileError("owner inheritance with no previous owner")
+            owner = last_owner
+        else:
+            owner = _parse_name(tokens[0], origin)
+            tokens = tokens[1:]
+        last_owner = owner
+
+        record_ttl = ttl
+        if tokens and tokens[0].isdigit():
+            record_ttl = int(tokens[0])
+            tokens = tokens[1:]
+        if tokens and tokens[0].upper() == "IN":
+            tokens = tokens[1:]
+        if not tokens:
+            raise ZoneFileError(f"missing type on line {raw_line!r}")
+        try:
+            rrtype = RRType.from_text(tokens[0])
+        except ValueError as exc:
+            raise ZoneFileError(str(exc)) from exc
+        rdata = _parse_rdata(rrtype, tokens[1:], origin)
+        yield ResourceRecord(owner, rrtype, record_ttl, rdata)
+
+
+def load_zone(text: str, origin: Union[str, Name], signed: bool = False) -> Zone:
+    """Build a :class:`Zone` from master-file text.
+
+    The zone's apex SOA/DNSKEY come from the file when present (file
+    records replace the constructor's synthetic defaults).
+    """
+    origin_name = Name.from_text(origin) if isinstance(origin, str) else origin
+    zone = Zone(origin_name, signed=signed)
+    grouped = {}
+    for record in parse_records(text, origin_name):
+        grouped.setdefault((record.name, record.rrtype), []).append(record)
+    for (name, rrtype), records in grouped.items():
+        zone.add_rrset(
+            RRset(name, rrtype, records[0].ttl, [r.rdata for r in records])
+        )
+    return zone
+
+
+def _format_rdata(record: ResourceRecord) -> str:
+    return record.rdata.to_text()
+
+
+def dump_zone(zone: Zone, stream: Optional[TextIO] = None) -> str:
+    """Serialise a zone to master-file text (returns the text; also writes
+    to ``stream`` when given).  Records are emitted in canonical name
+    order, SOA first, with an ``$ORIGIN`` header."""
+    lines = [f"$ORIGIN {zone.origin.to_text()}", f"$TTL {zone.default_ttl}"]
+    items = sorted(zone._rrsets.items(), key=lambda kv: (kv[0][0], int(kv[0][1])))
+    soa_key = (zone.origin, RRType.SOA)
+    ordered = [(soa_key, zone._rrsets[soa_key])] + [
+        (key, rrset) for key, rrset in items if key != soa_key
+    ]
+    for (name, rrtype), rrset in ordered:
+        for rdata in rrset.rdatas:
+            record = ResourceRecord(name, rrtype, rrset.ttl, rdata)
+            lines.append(
+                f"{name.to_text()} {rrset.ttl} IN {rrtype.to_text()} "
+                f"{_format_rdata(record)}"
+            )
+    text = "\n".join(lines) + "\n"
+    if stream is not None:
+        stream.write(text)
+    return text

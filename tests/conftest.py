@@ -1,0 +1,82 @@
+"""Shared fixtures: a small simulated DNS world for integration tests."""
+
+import pytest
+
+from repro.capture import CaptureStore
+from repro.dnscore import Name
+from repro.netsim import GAZETTEER, IPAddress, LatencyModel
+from repro.resolver import AuthorityNetwork, SyntheticLeafAuthority
+from repro.server import AuthoritativeServer, ServerSet
+from repro.zones import ZoneSpec, build_registry_zone, build_root_zone
+
+
+@pytest.fixture
+def latency():
+    return LatencyModel()
+
+
+@pytest.fixture
+def small_world(latency):
+    """Root + .nl (50 domains) + .nz (20 SLD / 30 third-level), captured."""
+    root_zone = build_root_zone(seed=3)
+    nl_zone = build_registry_zone(ZoneSpec(origin="nl", second_level_count=50, seed=1))
+    nz_zone = build_registry_zone(
+        ZoneSpec(origin="nz", second_level_count=20, third_level_count=30, seed=2)
+    )
+
+    root_capture = CaptureStore()
+    nl_capture = CaptureStore()
+    nz_capture = CaptureStore()
+
+    root_set = ServerSet(
+        [
+            AuthoritativeServer(
+                "b-root", root_zone,
+                [GAZETTEER["LAX"], GAZETTEER["MIA"], GAZETTEER["AMS"], GAZETTEER["SIN"]],
+                capture=root_capture,
+            )
+        ],
+        latency,
+    )
+    nl_set = ServerSet(
+        [
+            AuthoritativeServer(
+                "nl-a", nl_zone, [GAZETTEER["AMS"], GAZETTEER["IAD"], GAZETTEER["NRT"]],
+                capture=nl_capture,
+            ),
+            AuthoritativeServer(
+                "nl-b", nl_zone, [GAZETTEER["LHR"], GAZETTEER["SJC"]],
+                capture=nl_capture,
+            ),
+        ],
+        latency,
+    )
+    nz_set = ServerSet(
+        [
+            AuthoritativeServer(
+                "nz-a", nz_zone, [GAZETTEER["AKL"], GAZETTEER["SYD"], GAZETTEER["LAX"]],
+                capture=nz_capture,
+            ),
+            AuthoritativeServer("nz-u", nz_zone, [GAZETTEER["WLG"]], capture=nz_capture),
+        ],
+        latency,
+    )
+
+    network = AuthorityNetwork(
+        root=root_set,
+        tlds={Name.from_text("nl"): nl_set, Name.from_text("nz"): nz_set},
+        leaf=SyntheticLeafAuthority(),
+    )
+    return {
+        "network": network,
+        "root_capture": root_capture,
+        "nl_capture": nl_capture,
+        "nz_capture": nz_capture,
+        "nl_zone": nl_zone,
+        "nz_zone": nz_zone,
+        "latency": latency,
+    }
+
+
+def make_addr(text: str) -> IPAddress:
+    return IPAddress.parse(text)

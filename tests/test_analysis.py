@@ -1,0 +1,302 @@
+"""Unit tests for the analysis layer against hand-built captures.
+
+Synthetic capture rows with known ground truth verify every metric
+independently of the simulator.
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    Attributor,
+    BufsizeCDF,
+    bufsize_cdf,
+    classify_addresses,
+    cloud_share,
+    dataset_summary,
+    detect_rollout,
+    distinct_as_count,
+    google_split,
+    junk_ratios,
+    MonthlyPoint,
+    minimized_fraction,
+    ns_share,
+    overall_junk_ratio,
+    provider_shares,
+    queries_by_provider,
+    resolver_inventory,
+    rrtype_mix,
+    tcp_share,
+    transport_matrix,
+    truncation_ratio,
+)
+from repro.capture import CaptureStore, QueryRecord, Transport
+from repro.clouds import PTRTable
+from repro.dnscore import RCode, RRType
+from repro.netsim import ASInfo, ASRegistry, IPAddress, Prefix
+
+GOOGLE = "8.8.8.8"
+GOOGLE2 = "8.8.4.4"
+AMAZON = "52.1.2.3"
+OTHER_ISP = "198.51.100.7"
+GOOGLE_V6 = "2001:4860:4860::8888"
+
+
+@pytest.fixture(scope="module")
+def registry():
+    registry = ASRegistry()
+    registry.register(ASInfo(15169, "GOOGLE", "Google"))
+    registry.register(ASInfo(16509, "AMAZON", "Amazon"))
+    registry.register(ASInfo(64500, "ISP", "SomeISP"))
+    registry.announce(15169, Prefix.parse("8.8.8.0/24"))
+    registry.announce(15169, Prefix.parse("8.8.4.0/24"))
+    registry.announce(15169, Prefix.parse("2001:4860::/32"))
+    registry.announce(16509, Prefix.parse("52.0.0.0/13"))
+    registry.announce(64500, Prefix.parse("198.51.100.0/24"))
+    return registry
+
+
+def rec(src, qtype=RRType.A, rcode=RCode.NOERROR, transport=Transport.UDP,
+        bufsize=4096, truncated=False, rtt=None, server="nl-a", qname="x.nl."):
+    return QueryRecord(
+        timestamp=1.0,
+        server_id=server,
+        src=IPAddress.parse(src),
+        transport=transport,
+        qname=qname,
+        qtype=int(qtype),
+        rcode=int(rcode),
+        edns_bufsize=bufsize,
+        truncated=truncated,
+        tcp_rtt_ms=rtt,
+    )
+
+
+def build(records):
+    store = CaptureStore()
+    store.extend(records)
+    return store.view()
+
+
+PROVIDERS = ("Google", "Amazon")
+
+
+@pytest.fixture(scope="module")
+def attributor(registry):
+    return Attributor(registry, PROVIDERS)
+
+
+class TestAttribution:
+    def test_labels(self, attributor):
+        view = build([rec(GOOGLE), rec(AMAZON), rec(OTHER_ISP), rec("203.0.113.9")])
+        result = attributor.attribute(view)
+        assert list(result.providers) == ["Google", "Amazon", "Other", "Unknown"]
+        assert list(result.asns) == [15169, 16509, 64500, 0]
+
+    def test_distinct_as_count_ignores_unrouted(self, attributor):
+        view = build([rec(GOOGLE), rec(GOOGLE2), rec("203.0.113.9")])
+        result = attributor.attribute(view)
+        assert distinct_as_count(result) == 1
+
+    def test_queries_by_provider(self, attributor):
+        view = build([rec(GOOGLE), rec(GOOGLE), rec(AMAZON), rec(OTHER_ISP)])
+        result = attributor.attribute(view)
+        table = queries_by_provider(view, result, PROVIDERS)
+        assert table["Google"] == 2
+        assert table["Amazon"] == 1
+        assert table["Other"] == 1
+
+    def test_v6_attribution(self, attributor):
+        view = build([rec(GOOGLE_V6)])
+        result = attributor.attribute(view)
+        assert result.providers[0] == "Google"
+
+
+class TestShares:
+    def test_provider_shares_and_total(self, attributor):
+        view = build([rec(GOOGLE)] * 3 + [rec(AMAZON)] + [rec(OTHER_ISP)] * 6)
+        result = attributor.attribute(view)
+        shares = provider_shares(view, result, PROVIDERS)
+        assert shares["Google"] == pytest.approx(0.3)
+        assert shares["Amazon"] == pytest.approx(0.1)
+        assert cloud_share(view, result, PROVIDERS) == pytest.approx(0.4)
+
+    def test_empty_view(self, attributor):
+        view = build([])
+        result = attributor.attribute(view)
+        assert cloud_share(view, result, PROVIDERS) == 0.0
+
+
+class TestRRMix:
+    def test_mix_sums_to_one(self, attributor):
+        view = build(
+            [rec(GOOGLE, RRType.A)] * 5
+            + [rec(GOOGLE, RRType.NS)] * 3
+            + [rec(GOOGLE, RRType.SOA)] * 2
+        )
+        result = attributor.attribute(view)
+        mix = rrtype_mix(view, result, "Google")
+        assert mix["A"] == pytest.approx(0.5)
+        assert mix["NS"] == pytest.approx(0.3)
+        assert mix["other"] == pytest.approx(0.2)
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_absent_provider_zero(self, attributor):
+        view = build([rec(GOOGLE)])
+        result = attributor.attribute(view)
+        mix = rrtype_mix(view, result, "Amazon")
+        assert all(v == 0.0 for v in mix.values())
+
+
+class TestJunk:
+    def test_per_provider_junk(self, attributor):
+        view = build(
+            [rec(GOOGLE, rcode=RCode.NXDOMAIN)] * 2
+            + [rec(GOOGLE)] * 8
+            + [rec(AMAZON, rcode=RCode.REFUSED)]
+            + [rec(AMAZON)]
+        )
+        result = attributor.attribute(view)
+        ratios = junk_ratios(view, result, PROVIDERS)
+        assert ratios["Google"] == pytest.approx(0.2)
+        assert ratios["Amazon"] == pytest.approx(0.5)
+
+    def test_overall_junk(self, attributor):
+        view = build([rec(GOOGLE, rcode=RCode.NXDOMAIN), rec(GOOGLE)])
+        assert overall_junk_ratio(view) == pytest.approx(0.5)
+
+
+class TestTransport:
+    def test_matrix(self, attributor):
+        view = build(
+            [rec(GOOGLE)] * 3
+            + [rec(GOOGLE_V6)] * 3
+            + [rec(GOOGLE, transport=Transport.TCP, rtt=10.0)] * 2
+        )
+        result = attributor.attribute(view)
+        row = transport_matrix(view, result, ("Google",))[0]
+        assert row.ipv6 == pytest.approx(3 / 8)
+        assert row.tcp == pytest.approx(2 / 8)
+        assert row.ipv4 + row.ipv6 == pytest.approx(1.0)
+        assert row.udp + row.tcp == pytest.approx(1.0)
+
+    def test_tcp_share(self, attributor):
+        view = build([rec(GOOGLE), rec(GOOGLE, transport=Transport.TCP, rtt=5.0)])
+        result = attributor.attribute(view)
+        assert tcp_share(view, result, "Google") == pytest.approx(0.5)
+
+
+class TestInventoryAndSummary:
+    def test_inventory_counts_addresses(self, attributor):
+        view = build([rec(GOOGLE), rec(GOOGLE), rec(GOOGLE2), rec(GOOGLE_V6)])
+        result = attributor.attribute(view)
+        inventory = resolver_inventory(view, result, "Google")
+        assert inventory.total == 3
+        assert inventory.ipv4 == 2
+        assert inventory.ipv6 == 1
+        assert inventory.ipv6_fraction == pytest.approx(1 / 3)
+
+    def test_dataset_summary(self, attributor):
+        view = build([rec(GOOGLE), rec(AMAZON, rcode=RCode.NXDOMAIN), rec(OTHER_ISP)])
+        result = attributor.attribute(view)
+        summary = dataset_summary(view, result)
+        assert summary.queries_total == 3
+        assert summary.queries_valid == 2
+        assert summary.resolvers == 3
+        assert summary.ases == 3
+
+
+class TestGoogleSplit:
+    def test_split_by_advertised_ranges(self, attributor):
+        # 8.8.8.8 is in the public ranges; 8.8.4.x not included this time.
+        view = build([rec(GOOGLE)] * 4 + [rec(GOOGLE2)] + [rec(AMAZON)])
+        result = attributor.attribute(view)
+        split = google_split(view, result, ["8.8.8.0/24"])
+        assert split.total_queries == 5
+        assert split.public_queries == 4
+        assert split.rest_queries == 1
+        assert split.public_query_ratio == pytest.approx(0.8)
+        assert split.total_resolvers == 2
+        assert split.public_resolvers == 1
+
+
+class TestQmin:
+    def test_ns_share(self, attributor):
+        view = build([rec(GOOGLE, RRType.NS)] * 3 + [rec(GOOGLE)] * 7)
+        result = attributor.attribute(view)
+        assert ns_share(view, result, "Google") == pytest.approx(0.3)
+
+    def test_minimized_fraction(self, attributor):
+        view = build(
+            [rec(GOOGLE, RRType.NS, qname="example.nl.")] * 3
+            + [rec(GOOGLE, RRType.NS, qname="www.example.nl.")]
+        )
+        result = attributor.attribute(view)
+        assert minimized_fraction(view, result, "Google", 1) == pytest.approx(0.75)
+
+    def test_detect_rollout(self):
+        series = [
+            MonthlyPoint(2019, m, ns_share=0.03, a_share=0.6, aaaa_share=0.3, total_queries=100)
+            for m in (7, 8, 9, 10, 11)
+        ] + [
+            MonthlyPoint(2019, 12, 0.40, 0.35, 0.15, 100),
+            MonthlyPoint(2020, 1, 0.45, 0.30, 0.15, 100),
+        ]
+        assert detect_rollout(series) == (2019, 12)
+
+    def test_no_rollout_in_flat_series(self):
+        series = [
+            MonthlyPoint(2019, m, 0.05, 0.6, 0.3, 100) for m in range(1, 10)
+        ]
+        assert detect_rollout(series) is None
+
+
+class TestEdns:
+    def test_cdf_counts_no_edns_as_512(self, attributor):
+        view = build(
+            [rec(GOOGLE, bufsize=0)]
+            + [rec(GOOGLE, bufsize=1232)] * 2
+            + [rec(GOOGLE, bufsize=4096)]
+        )
+        result = attributor.attribute(view)
+        cdf = bufsize_cdf(view, result, "Google")
+        assert cdf.at(512) == pytest.approx(0.25)
+        assert cdf.at(1232) == pytest.approx(0.75)
+        assert cdf.at(4096) == pytest.approx(1.0)
+        assert cdf.at(100) == 0.0
+
+    def test_cdf_excludes_tcp(self, attributor):
+        view = build(
+            [rec(GOOGLE, bufsize=512)]
+            + [rec(GOOGLE, bufsize=4096, transport=Transport.TCP, rtt=9.0)] * 5
+        )
+        result = attributor.attribute(view)
+        cdf = bufsize_cdf(view, result, "Google")
+        assert cdf.at(512) == pytest.approx(1.0)
+
+    def test_truncation_ratio_over_udp(self, attributor):
+        view = build(
+            [rec(GOOGLE, bufsize=512, truncated=True)]
+            + [rec(GOOGLE)] * 3
+            + [rec(GOOGLE, transport=Transport.TCP, rtt=4.0)]
+        )
+        result = attributor.attribute(view)
+        assert truncation_ratio(view, result, "Google") == pytest.approx(0.25)
+
+
+class TestFacebookClassification:
+    def test_dual_stack_join(self):
+        table = PTRTable()
+        v4 = IPAddress.parse("31.13.24.5")
+        v6 = IPAddress.parse("2a03:2880::5")
+        name = "edge-dns-31-13-24-5.ams2.facebook.com."
+        table.add(v4, name)
+        table.add(v6, name)
+        lone = IPAddress.parse("31.13.24.99")
+        table.add(lone, "edge-dns-31-13-24-99.fra1.facebook.com.")
+        no_ptr = IPAddress.parse("31.13.24.100")
+        site_of, report = classify_addresses([v4, v6, lone, no_ptr], table)
+        assert site_of[v4.to_text()] == ("AMS", 2)
+        assert site_of[v6.to_text()] == ("AMS", 2)
+        assert report.dual_stack_hosts == 1
+        assert report.addresses_without_ptr == 1

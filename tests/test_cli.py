@@ -1,0 +1,52 @@
+"""Tests for the ``python -m repro`` CLI and the report renderer."""
+
+import pytest
+
+from repro.__main__ import main
+from repro.experiments.render_all import render_markdown
+from repro.experiments.report import Report
+
+
+class TestCLI:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "nl-w2020" in out
+        assert "root-2018" in out
+        assert out.count("vantage=") == 9
+
+    def test_dataset_runs_and_reports(self, capsys):
+        assert main(["dataset", "nz-w2018", "--scale", "0.01", "--seed", "7"]) == 0
+        out = capsys.readouterr().out
+        assert "captured queries" in out
+        assert "all 5 CPs" in out
+        assert "Google" in out
+
+    def test_dataset_writes_csv(self, capsys, tmp_path):
+        path = tmp_path / "capture.csv"
+        assert main(
+            ["dataset", "nz-w2018", "--scale", "0.01", "--out", str(path)]
+        ) == 0
+        content = path.read_text()
+        assert content.startswith("timestamp,")
+        assert len(content.splitlines()) > 1
+
+    def test_unknown_dataset_errors(self):
+        with pytest.raises(KeyError):
+            main(["dataset", "nl-w2099", "--scale", "0.01"])
+
+    def test_missing_command_exits(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+
+class TestRenderMarkdown:
+    def test_render_contains_reports_and_meta(self):
+        report = Report("figure1a", "Test report")
+        report.add("metric", 1.0, 0.99)
+        text = render_markdown([report], scale=0.5, elapsed=12.0)
+        assert "# EXPERIMENTS" in text
+        assert "simulation scale: 0.5" in text
+        assert "figure1a" in text
+        assert "0.99" in text
+        assert text.count("```") == 2

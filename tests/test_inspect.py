@@ -1,0 +1,86 @@
+"""Unit tests for the wire-format inspector."""
+
+import pytest
+
+from repro.dnscore import (
+    ARdata,
+    EdnsRecord,
+    Message,
+    Name,
+    NSRdata,
+    ResourceRecord,
+    RRType,
+)
+from repro.dnscore.inspect import annotate, annotated_dump, explain, hexdump
+
+
+@pytest.fixture
+def response():
+    query = Message.make_query(
+        Name.from_text("example.nl"), RRType.A, msg_id=0xBEEF,
+        edns=EdnsRecord(udp_payload_size=1232),
+    )
+    response = query.make_response_skeleton()
+    response.answers.append(
+        ResourceRecord(Name.from_text("example.nl"), RRType.A, 300, ARdata(0xC0000201))
+    )
+    response.authorities.append(
+        ResourceRecord(
+            Name.from_text("nl"), RRType.NS, 3600, NSRdata(Name.from_text("ns1.dns.nl"))
+        )
+    )
+    response.edns = EdnsRecord(udp_payload_size=4096)
+    return response
+
+
+class TestAnnotate:
+    def test_regions_cover_message_contiguously(self, response):
+        wire = response.to_wire()
+        regions = annotate(wire)
+        assert regions[0].start == 0
+        for a, b in zip(regions, regions[1:]):
+            assert a.end == b.start
+        assert regions[-1].end == len(wire)
+
+    def test_header_fields_first(self, response):
+        regions = annotate(response.to_wire())
+        assert [r.label for r in regions[:6]] == [
+            "id", "flags", "qdcount", "ancount", "nscount", "arcount",
+        ]
+        assert all(r.length == 2 for r in regions[:6])
+
+    def test_sections_labelled_with_types(self, response):
+        labels = [r.label for r in annotate(response.to_wire())]
+        assert any("question[0].qname" in l for l in labels)
+        assert any("answer[0](A)" in l for l in labels)
+        assert any("authority[0](NS)" in l for l in labels)
+        assert any("additional[0](OPT)" in l for l in labels)
+
+    def test_malformed_rejected(self):
+        with pytest.raises(Exception):
+            annotate(b"\x00" * 5)
+
+
+class TestDumps:
+    def test_hexdump_shape(self, response):
+        wire = response.to_wire()
+        dump = hexdump(wire)
+        lines = dump.splitlines()
+        assert len(lines) == (len(wire) + 15) // 16
+        assert lines[0].startswith("0000")
+
+    def test_hexdump_ascii_column(self):
+        dump = hexdump(b"example\x00\x01")
+        assert "example.." in dump
+
+    def test_annotated_dump_mentions_every_region(self, response):
+        wire = response.to_wire()
+        dump = annotated_dump(wire)
+        for region in annotate(wire):
+            assert region.label in dump
+
+    def test_explain_combines_text_and_wire(self, response):
+        text = explain(response)
+        assert "QUESTION" in text
+        assert "wire size" in text
+        assert "answer[0](A)" in text

@@ -1,0 +1,194 @@
+"""Unit tests for the authoritative server: responses, truncation, RRL,
+anycast catchments, and capture taps."""
+
+import pytest
+
+from repro.capture import CaptureStore, Transport
+from repro.dnscore import EdnsRecord, Message, Name, RCode, RRType
+from repro.netsim import GAZETTEER, IPAddress, LatencyModel
+from repro.server import AuthoritativeServer, RateLimiter, RRLConfig, ServerSet
+from repro.zones import Zone
+
+
+SRC = IPAddress.parse("192.0.2.53")
+
+
+@pytest.fixture
+def zone():
+    zone = Zone(Name.from_text("nl"), signed=True)
+    zone.add_delegation(
+        Name.from_text("example.nl"),
+        [Name.from_text("ns1.hoster.net")],
+        secure=True,
+    )
+    return zone
+
+
+@pytest.fixture
+def server(zone):
+    return AuthoritativeServer(
+        "nl-a", zone, [GAZETTEER["AMS"], GAZETTEER["IAD"]], capture=CaptureStore()
+    )
+
+
+def query(qname, qtype=RRType.A, edns=None):
+    return Message.make_query(Name.from_text(qname), qtype, msg_id=7, edns=edns)
+
+
+class TestResponses:
+    def test_referral_for_delegated_name(self, server):
+        response = server.handle_query(1.0, SRC, Transport.UDP, query("www.example.nl"))
+        assert response.rcode is RCode.NOERROR
+        assert not response.flags.aa
+        assert any(r.rrtype is RRType.NS for r in response.authorities)
+
+    def test_nxdomain_for_unknown(self, server):
+        response = server.handle_query(1.0, SRC, Transport.UDP, query("missing.nl"))
+        assert response.rcode is RCode.NXDOMAIN
+        assert response.flags.aa
+
+    def test_refused_out_of_bailiwick(self, server):
+        response = server.handle_query(1.0, SRC, Transport.UDP, query("example.com"))
+        assert response.rcode is RCode.REFUSED
+
+    def test_soa_answer_is_authoritative(self, server):
+        response = server.handle_query(1.0, SRC, Transport.UDP, query("nl", RRType.SOA))
+        assert response.flags.aa
+        assert response.answers
+
+    def test_edns_echoed(self, server):
+        response = server.handle_query(
+            1.0, SRC, Transport.UDP,
+            query("nl", RRType.SOA, edns=EdnsRecord(udp_payload_size=1232)),
+        )
+        assert response.edns is not None
+
+    def test_stats_accumulate(self, server):
+        server.handle_query(1.0, SRC, Transport.UDP, query("missing.nl"))
+        server.handle_query(2.0, SRC, Transport.UDP, query("nl", RRType.SOA))
+        assert server.stats.queries == 2
+        assert server.stats.by_rcode[int(RCode.NXDOMAIN)] == 1
+        assert server.stats.by_rcode[int(RCode.NOERROR)] == 1
+
+
+class TestTruncation:
+    def test_small_bufsize_with_do_truncates_signed_answer(self, server):
+        # DNSKEY answers with RRSIGs exceed 512 octets.
+        q = query("nl", RRType.DNSKEY, edns=EdnsRecord(udp_payload_size=512, dnssec_ok=True))
+        response = server.handle_query(1.0, SRC, Transport.UDP, q)
+        assert response.is_truncated()
+        assert not response.answers
+
+    def test_tcp_never_truncates(self, server):
+        q = query("nl", RRType.DNSKEY, edns=EdnsRecord(udp_payload_size=512, dnssec_ok=True))
+        response = server.handle_query(1.0, SRC, Transport.TCP, q, tcp_rtt_ms=10.0)
+        assert not response.is_truncated()
+        assert response.answers
+
+    def test_big_bufsize_avoids_truncation(self, server):
+        q = query("nl", RRType.DNSKEY, edns=EdnsRecord(udp_payload_size=4096, dnssec_ok=True))
+        response = server.handle_query(1.0, SRC, Transport.UDP, q)
+        assert not response.is_truncated()
+
+    def test_truncation_recorded_in_capture(self, server):
+        q = query("nl", RRType.DNSKEY, edns=EdnsRecord(udp_payload_size=512, dnssec_ok=True))
+        server.handle_query(1.0, SRC, Transport.UDP, q)
+        record = server.capture.view().record(0)
+        assert record.truncated
+        assert record.edns_bufsize == 512
+
+
+class TestCaptureTap:
+    def test_fields_recorded(self, server):
+        q = query("www.example.nl", edns=EdnsRecord(udp_payload_size=1232, dnssec_ok=True))
+        server.handle_query(123.5, SRC, Transport.UDP, q)
+        record = server.capture.view().record(0)
+        assert record.timestamp == 123.5
+        assert record.server_id == "nl-a"
+        assert record.qname == "www.example.nl."
+        assert record.qtype == int(RRType.A)
+        assert record.do_bit
+        assert record.response_size > 0
+
+    def test_tcp_rtt_recorded(self, server):
+        server.handle_query(1.0, SRC, Transport.TCP, query("nl", RRType.SOA), tcp_rtt_ms=17.5)
+        assert server.capture.view().record(0).tcp_rtt_ms == 17.5
+
+    def test_rtt_without_tcp_rejected(self, server):
+        with pytest.raises(ValueError):
+            server.handle_query(1.0, SRC, Transport.UDP, query("nl"), tcp_rtt_ms=5.0)
+        with pytest.raises(ValueError):
+            server.handle_query(1.0, SRC, Transport.TCP, query("nl"))
+
+    def test_uncaptured_server_records_nothing(self, zone):
+        silent = AuthoritativeServer("nl-x", zone, [GAZETTEER["AMS"]], capture=None)
+        silent.handle_query(1.0, SRC, Transport.UDP, query("nl", RRType.SOA))
+        assert silent.stats.queries == 1
+
+
+class TestRRL:
+    def test_limiter_slips_and_drops_under_flood(self):
+        limiter = RateLimiter(RRLConfig(responses_per_second=5, burst=5, slip=2))
+        verdicts = [limiter.check(SRC, 0.0) for __ in range(20)]
+        assert verdicts[:5] == [RateLimiter.PASS] * 5
+        assert RateLimiter.SLIP in verdicts[5:]
+        assert RateLimiter.DROP in verdicts[5:]
+
+    def test_bucket_refills_over_time(self):
+        limiter = RateLimiter(RRLConfig(responses_per_second=10, burst=5, slip=2))
+        for __ in range(5):
+            limiter.check(SRC, 0.0)
+        assert limiter.check(SRC, 0.0) != RateLimiter.PASS
+        assert limiter.check(SRC, 10.0) == RateLimiter.PASS
+
+    def test_distinct_prefixes_independent(self):
+        limiter = RateLimiter(RRLConfig(responses_per_second=1, burst=1, slip=1))
+        a = IPAddress.parse("192.0.2.1")
+        b = IPAddress.parse("198.51.100.1")
+        assert limiter.check(a, 0.0) == RateLimiter.PASS
+        assert limiter.check(b, 0.0) == RateLimiter.PASS
+        assert limiter.check(a, 0.0) == RateLimiter.SLIP
+
+    def test_server_slip_truncates(self, zone):
+        server = AuthoritativeServer(
+            "nl-a", zone, [GAZETTEER["AMS"]], capture=CaptureStore(),
+            rrl=RRLConfig(responses_per_second=1, burst=1, slip=1),
+        )
+        first = server.handle_query(0.0, SRC, Transport.UDP, query("nl", RRType.SOA))
+        second = server.handle_query(0.0, SRC, Transport.UDP, query("nl", RRType.SOA))
+        assert not first.is_truncated()
+        assert second.is_truncated()
+        assert server.stats.rrl_slipped == 1
+
+
+class TestServerSet:
+    def test_catchment_is_nearest_site(self, zone):
+        server = AuthoritativeServer("nl-a", zone, [GAZETTEER["AMS"], GAZETTEER["SJC"]])
+        assert server.catchment_site(GAZETTEER["LHR"]).code == "AMS"
+        assert server.catchment_site(GAZETTEER["LAX"]).code == "SJC"
+
+    def test_fastest_server(self, zone):
+        latency = LatencyModel()
+        europe = AuthoritativeServer("nl-a", zone, [GAZETTEER["AMS"]])
+        oceania = AuthoritativeServer("nl-b", zone, [GAZETTEER["AKL"]])
+        server_set = ServerSet([europe, oceania], latency)
+        assert server_set.fastest(GAZETTEER["FRA"], 4) is europe
+        assert server_set.fastest(GAZETTEER["SYD"], 4) is oceania
+
+    def test_mixed_zones_rejected(self, zone):
+        other = Zone(Name.from_text("nz"))
+        with pytest.raises(ValueError):
+            ServerSet(
+                [
+                    AuthoritativeServer("a", zone, [GAZETTEER["AMS"]]),
+                    AuthoritativeServer("b", other, [GAZETTEER["AKL"]]),
+                ],
+                LatencyModel(),
+            )
+
+    def test_by_id(self, zone):
+        server = AuthoritativeServer("nl-a", zone, [GAZETTEER["AMS"]])
+        server_set = ServerSet([server], LatencyModel())
+        assert server_set.by_id("nl-a") is server
+        with pytest.raises(KeyError):
+            server_set.by_id("nl-z")

@@ -1,0 +1,141 @@
+"""Unit tests for zone master-file parsing and serialisation."""
+
+import pytest
+
+from repro.dnscore import (
+    AAAARdata,
+    ARdata,
+    MXRdata,
+    Name,
+    NSRdata,
+    RRType,
+    SOARdata,
+    TXTRdata,
+)
+from repro.zones import (
+    Zone,
+    ZoneFileError,
+    ZoneSpec,
+    build_registry_zone,
+    dump_zone,
+    load_zone,
+    parse_records,
+)
+
+ORIGIN = Name.from_text("nl")
+
+SAMPLE = """
+$ORIGIN nl.
+$TTL 3600
+@ 3600 IN SOA ns1.dns.nl. hostmaster.dns.nl. 2020040500 7200 3600 1209600 3600
+@ IN NS ns1.dns.nl.
+example 7200 IN NS ns1.hoster.net.   ; a delegation
+example IN NS ns2.hoster.net.
+www.example IN A 192.0.2.1
+www.example IN AAAA 2001:db8::1
+example IN MX 10 mail.example.nl.
+example IN TXT "v=spf1 -all" "second string"
+"""
+
+
+class TestParsing:
+    def test_full_sample(self):
+        records = list(parse_records(SAMPLE, ORIGIN))
+        types = [r.rrtype for r in records]
+        assert types.count(RRType.NS) == 3
+        assert RRType.SOA in types
+        assert RRType.MX in types
+
+    def test_relative_names_get_origin(self):
+        records = list(parse_records("www IN A 192.0.2.1", ORIGIN))
+        assert records[0].name == Name.from_text("www.nl")
+
+    def test_at_is_origin(self):
+        records = list(parse_records("@ IN NS ns1.dns.nl.", ORIGIN))
+        assert records[0].name == ORIGIN
+
+    def test_per_record_ttl(self):
+        records = list(parse_records("x 120 IN A 192.0.2.1", ORIGIN))
+        assert records[0].ttl == 120
+
+    def test_default_ttl_directive(self):
+        text = "$TTL 99\nx IN A 192.0.2.1"
+        records = list(parse_records(text, ORIGIN))
+        assert records[0].ttl == 99
+
+    def test_origin_directive_switches(self):
+        text = "$ORIGIN nz.\nshop IN A 192.0.2.1"
+        records = list(parse_records(text, ORIGIN))
+        assert records[0].name == Name.from_text("shop.nz")
+
+    def test_comments_stripped_but_not_in_quotes(self):
+        records = list(parse_records('x IN TXT "a;b" ; trailing', ORIGIN))
+        assert records[0].rdata == TXTRdata((b"a;b",))
+
+    def test_owner_inheritance(self):
+        text = "x IN A 192.0.2.1\n   IN AAAA 2001:db8::1"
+        records = list(parse_records(text, ORIGIN))
+        assert records[0].name == records[1].name
+        assert records[1].rdata == AAAARdata(0x20010DB8 << 96 | 1)
+
+    def test_inheritance_without_owner_rejected(self):
+        with pytest.raises(ZoneFileError):
+            list(parse_records("   IN A 192.0.2.1", ORIGIN))
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(ZoneFileError):
+            list(parse_records("x IN WKS whatever", ORIGIN))
+
+    def test_bad_rdata_rejected(self):
+        with pytest.raises(ZoneFileError):
+            list(parse_records("x IN A not-an-address", ORIGIN))
+
+    def test_unsupported_directive_rejected(self):
+        with pytest.raises(ZoneFileError):
+            list(parse_records("$GENERATE 1-10 x A 192.0.2.$", ORIGIN))
+
+    def test_unterminated_quote_rejected(self):
+        with pytest.raises(ZoneFileError):
+            list(parse_records('x IN TXT "oops', ORIGIN))
+
+
+class TestLoadZone:
+    def test_load_answers_queries(self):
+        zone = load_zone(SAMPLE, "nl")
+        result = zone.lookup(Name.from_text("www.example.nl"), RRType.A)
+        # example.nl is delegated, so this is a referral.
+        assert result.authorities
+
+    def test_load_preserves_soa(self):
+        zone = load_zone(SAMPLE, "nl")
+        soa = zone.rrset(ORIGIN, RRType.SOA)
+        assert isinstance(soa.rdatas[0], SOARdata)
+        assert soa.rdatas[0].serial == 2020040500
+
+
+class TestRoundTrip:
+    def test_synthetic_zone_round_trips(self):
+        original = build_registry_zone(ZoneSpec("nl", 25, seed=3))
+        text = dump_zone(original)
+        loaded = load_zone(text, "nl", signed=True)
+        assert set(loaded.delegation_names) == set(original.delegation_names)
+        assert loaded.record_count() == original.record_count()
+        # DS presence per delegation is preserved.
+        for name in original.delegation_names:
+            assert (loaded.rrset(name, RRType.DS) is None) == (
+                original.rrset(name, RRType.DS) is None
+            )
+
+    def test_dump_starts_with_origin_and_soa(self):
+        zone = Zone(ORIGIN, signed=False)
+        text = dump_zone(zone)
+        lines = text.splitlines()
+        assert lines[0] == "$ORIGIN nl."
+        assert " SOA " in lines[2]
+
+    def test_dump_to_stream(self, tmp_path):
+        zone = Zone(ORIGIN, signed=False)
+        path = tmp_path / "nl.zone"
+        with open(path, "w") as handle:
+            dump_zone(zone, handle)
+        assert load_zone(path.read_text(), "nl").rrset(ORIGIN, RRType.SOA)

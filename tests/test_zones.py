@@ -1,0 +1,210 @@
+"""Unit tests for the zone model and synthetic zone builders."""
+
+import numpy as np
+import pytest
+
+from repro.dnscore import Name, NSRdata, ROOT, RRType
+from repro.zones import (
+    LookupOutcome,
+    RRset,
+    Zone,
+    ZoneSpec,
+    build_registry_zone,
+    build_root_zone,
+    domains_of,
+    synthetic_labels,
+    ZipfSampler,
+)
+
+
+@pytest.fixture
+def nl_zone():
+    zone = Zone(Name.from_text("nl"), signed=True)
+    zone.add_delegation(
+        Name.from_text("example.nl"),
+        [Name.from_text("ns1.hoster.net"), Name.from_text("ns2.hoster.net")],
+        secure=True,
+    )
+    zone.add_delegation(
+        Name.from_text("insecure.nl"),
+        [Name.from_text("ns1.other.net")],
+        secure=False,
+    )
+    return zone
+
+
+class TestZoneLookup:
+    def test_apex_soa_answer(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("nl"), RRType.SOA)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert result.answers[0].rrtype is RRType.SOA
+
+    def test_apex_dnskey_present_when_signed(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("nl"), RRType.DNSKEY)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert len(result.answers) == 2  # KSK + ZSK
+
+    def test_unsigned_zone_has_no_dnskey(self):
+        zone = Zone(Name.from_text("test"), signed=False)
+        result = zone.lookup(Name.from_text("test"), RRType.DNSKEY)
+        assert result.outcome is LookupOutcome.NODATA
+
+    def test_delegation_returns_referral(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("example.nl"), RRType.A)
+        assert result.outcome is LookupOutcome.DELEGATION
+        assert any(r.rrtype is RRType.NS for r in result.authorities)
+        assert not result.answers
+
+    def test_below_delegation_also_referral(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("www.example.nl"), RRType.A)
+        assert result.outcome is LookupOutcome.DELEGATION
+
+    def test_ds_at_cut_answered_by_parent(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("example.nl"), RRType.DS, dnssec_ok=True)
+        assert result.outcome is LookupOutcome.ANSWER
+        assert result.answers[0].rrtype is RRType.DS
+
+    def test_insecure_delegation_has_no_ds(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("insecure.nl"), RRType.DS)
+        assert result.outcome is LookupOutcome.NODATA
+
+    def test_secure_referral_carries_ds_when_do_set(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("example.nl"), RRType.A, dnssec_ok=True)
+        assert any(r.rrtype is RRType.DS for r in result.authorities)
+
+    def test_nxdomain_for_unregistered(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("nope.nl"), RRType.A)
+        assert result.outcome is LookupOutcome.NXDOMAIN
+        assert any(r.rrtype is RRType.SOA for r in result.authorities)
+
+    def test_nxdomain_with_do_carries_nsec(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("nope.nl"), RRType.A, dnssec_ok=True)
+        assert any(r.rrtype is RRType.NSEC for r in result.authorities)
+        assert any(r.rrtype is RRType.RRSIG for r in result.authorities)
+
+    def test_answer_with_do_carries_rrsig(self, nl_zone):
+        result = nl_zone.lookup(Name.from_text("nl"), RRType.SOA, dnssec_ok=True)
+        assert any(r.rrtype is RRType.RRSIG for r in result.answers)
+
+    def test_out_of_bailiwick_raises(self, nl_zone):
+        with pytest.raises(ValueError):
+            nl_zone.lookup(Name.from_text("example.com"), RRType.A)
+
+    def test_empty_non_terminal_is_nodata(self):
+        zone = Zone(Name.from_text("nz"), signed=True)
+        zone.add_delegation(
+            Name.from_text("shop.co.nz"), [Name.from_text("ns1.x.net")]
+        )
+        result = zone.lookup(Name.from_text("co.nz"), RRType.A)
+        assert result.outcome is LookupOutcome.NODATA
+
+    def test_out_of_zone_rrset_rejected(self, nl_zone):
+        with pytest.raises(ValueError):
+            nl_zone.add_rrset(
+                RRset(Name.from_text("example.com"), RRType.NS, 300,
+                      [NSRdata(Name.from_text("ns.x.net"))])
+            )
+
+
+class TestNSECChain:
+    def test_nsec_brackets_missing_name(self, nl_zone):
+        nsec = nl_zone.nsec_for(Name.from_text("fake.nl"))
+        assert nsec is not None
+        assert nsec.rrtype is RRType.NSEC
+
+    def test_unsigned_zone_has_no_nsec(self):
+        zone = Zone(Name.from_text("test"), signed=False)
+        assert zone.nsec_for(Name.from_text("x.test")) is None
+
+
+class TestBuilders:
+    def test_synthetic_labels_unique_and_count(self):
+        labels = synthetic_labels(500)
+        assert len(labels) == 500
+        assert len(set(labels)) == 500
+
+    def test_registry_zone_second_level_only(self):
+        spec = ZoneSpec(origin="nl", second_level_count=100, seed=1)
+        zone = build_registry_zone(spec)
+        domains = domains_of(zone)
+        assert len(domains) == 100
+        assert all(d.label_count == 2 for d in domains)
+
+    def test_registry_zone_with_third_level(self):
+        spec = ZoneSpec(origin="nz", second_level_count=20, third_level_count=80, seed=1)
+        zone = build_registry_zone(spec)
+        domains = domains_of(zone)
+        assert len(domains) == 100
+        assert sum(1 for d in domains if d.label_count == 3) == 80
+
+    def test_zone_spec_scale_factor(self):
+        spec = ZoneSpec(
+            origin="nl", second_level_count=1000, real_size=5_800_000
+        )
+        assert spec.scale_factor == pytest.approx(5800.0)
+
+    def test_registry_zone_deterministic(self):
+        spec = ZoneSpec(origin="nl", second_level_count=50, seed=7)
+        a = build_registry_zone(spec)
+        b = build_registry_zone(spec)
+        assert domains_of(a) == domains_of(b)
+        # DS presence (secure flags) must also match.
+        for name in domains_of(a):
+            assert (a.rrset(name, RRType.DS) is None) == (b.rrset(name, RRType.DS) is None)
+
+    def test_root_zone_delegates_tlds(self):
+        root = build_root_zone()
+        result = root.lookup(Name.from_text("example.nl"), RRType.A)
+        assert result.outcome is LookupOutcome.DELEGATION
+
+    def test_root_zone_nxdomain_for_junk_tld(self):
+        root = build_root_zone()
+        result = root.lookup(Name.from_text("wpad.local-junk-xyzzy"), RRType.A)
+        assert result.outcome is LookupOutcome.NXDOMAIN
+
+    def test_root_zone_has_glue_for_root_servers(self):
+        root = build_root_zone()
+        # Queries below the delegated "net" TLD get a referral, but the
+        # root-server address records exist in zone data (priming glue).
+        result = root.lookup(Name.from_text("a.root-servers.net"), RRType.A)
+        assert result.outcome is LookupOutcome.DELEGATION
+        assert root.rrset(Name.from_text("a.root-servers.net"), RRType.A) is not None
+
+
+class TestZipf:
+    def test_rank_zero_most_probable(self):
+        sampler = ZipfSampler(100, exponent=1.0)
+        assert sampler.probability(0) > sampler.probability(1) > sampler.probability(50)
+
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50)
+        total = sum(sampler.probability(i) for i in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_samples_in_range_and_skewed(self):
+        sampler = ZipfSampler(1000, exponent=1.0)
+        rng = np.random.default_rng(42)
+        draws = sampler.sample_many(rng, 20_000)
+        assert draws.min() >= 0 and draws.max() < 1000
+        # Top-10 ranks should dominate uniform expectation by a wide margin.
+        top10 = float(np.mean(draws < 10))
+        assert top10 > 0.25
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(10, exponent=0.0)
+        for i in range(10):
+            assert sampler.probability(i) == pytest.approx(0.1)
+
+    def test_deterministic_given_seed(self):
+        sampler = ZipfSampler(100)
+        a = sampler.sample_many(np.random.default_rng(1), 100)
+        b = sampler.sample_many(np.random.default_rng(1), 100)
+        assert (a == b).all()
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            ZipfSampler(0)
+        with pytest.raises(ValueError):
+            ZipfSampler(10, exponent=-1)
+        with pytest.raises(ValueError):
+            ZipfSampler(10).probability(10)
