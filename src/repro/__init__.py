@@ -37,6 +37,8 @@ Subpackages
     One runner per table/figure, producing paper-vs-measured reports.
 ``repro.sim``
     The end-to-end dataset simulation driver.
+``repro.telemetry``
+    Metrics registry, phase timers, logging, JSON telemetry snapshots.
 """
 
 __version__ = "1.0.0"

@@ -9,12 +9,27 @@ Commands
     Simulate one paper dataset and print its headline metrics.
 ``list``
     List available dataset ids.
+
+Observability flags (see README "Observability"): ``-v/-vv`` turn on
+progress/debug logging, ``--telemetry-out PATH`` exports the run's
+telemetry snapshot as JSON, and every simulating command prints a
+phase/counter summary on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+
+def _print_telemetry(snapshot, telemetry_out, title: str) -> None:
+    """Stderr summary + optional JSON export, shared by the commands."""
+    from .telemetry import format_summary
+
+    print(format_summary(snapshot, title=title, max_counters=30), file=sys.stderr)
+    if telemetry_out:
+        snapshot.write_json(telemetry_out)
+        print(f"wrote telemetry to {telemetry_out}", file=sys.stderr)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -32,20 +47,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from .analysis import Attributor, cloud_share, dataset_summary, provider_shares
     from .clouds import PROVIDERS
+    from .experiments import configured_scale
     from .sim import run_dataset
     from .workload import dataset
 
     descriptor = dataset(args.dataset_id)
-    volume = int(descriptor.client_queries * args.scale)
+    scale = configured_scale(0.2) if args.scale is None else args.scale
+    volume = int(descriptor.client_queries * scale)
     print(f"simulating {args.dataset_id} ({volume} client queries)...", file=sys.stderr)
     run = run_dataset(descriptor, client_queries=volume, seed=args.seed)
     view = run.capture.view()
     attribution = Attributor(run.registry, PROVIDERS).attribute(view)
     summary = dataset_summary(view, attribution)
+    telemetry = run.telemetry
     print(f"captured queries : {summary.queries_total}")
     print(f"valid fraction   : {summary.valid_fraction:.3f}")
     print(f"resolvers        : {summary.resolvers}")
     print(f"ASes             : {summary.ases}")
+    print("fleet totals:")
+    print(f"  client queries : {telemetry.total('resolver.client_queries')}")
+    print(f"  auth queries   : {telemetry.total('resolver.auth_queries')}")
+    print(f"  drops          : {telemetry.total('resolver.drops')}")
+    print(f"  tcp retries    : {telemetry.total('resolver.tcp_retries')}")
+    print(f"  servfails      : {telemetry.total('resolver.servfails')}")
     shares = provider_shares(view, attribution, PROVIDERS)
     for provider, share in shares.items():
         print(f"{provider:<11}      : {share:.3f}")
@@ -55,19 +79,23 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
 
         count = write_csv(run.capture, args.out)
         print(f"wrote {count} rows to {args.out}", file=sys.stderr)
+    _print_telemetry(telemetry, args.telemetry_out, title=args.dataset_id)
     return 0
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
+    from .experiments import ExperimentContext
     from .experiments.render_all import run_and_render
 
-    content = run_and_render(scale=args.scale)
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    content = run_and_render(ctx=ctx)
     if args.write:
         with open(args.write, "w") as handle:
             handle.write(content)
         print(f"wrote {args.write}", file=sys.stderr)
     else:
         print(content)
+    _print_telemetry(ctx.telemetry.snapshot(), args.telemetry_out, title="experiments")
     return 0
 
 
@@ -76,6 +104,10 @@ def main(argv=None) -> int:
         prog="repro",
         description="Reproduction of 'Clouding up the Internet' (IMC 2020)",
     )
+    parser.add_argument(
+        "-v", "--verbose", action="count", default=0,
+        help="-v: progress logging (INFO); -vv: phase spans (DEBUG)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     p_list = sub.add_parser("list", help="list paper datasets")
@@ -83,19 +115,30 @@ def main(argv=None) -> int:
 
     p_dataset = sub.add_parser("dataset", help="simulate one dataset")
     p_dataset.add_argument("dataset_id")
-    p_dataset.add_argument("--scale", type=float, default=0.2)
+    p_dataset.add_argument("--scale", type=float, default=None,
+                           help="volume scale (default: REPRO_SCALE or 0.2)")
     p_dataset.add_argument("--seed", type=int, default=20201027)
     p_dataset.add_argument("--out", help="write the capture to this CSV path")
+    p_dataset.add_argument("--telemetry-out", metavar="PATH",
+                           help="write the run's telemetry snapshot as JSON")
     p_dataset.set_defaults(func=_cmd_dataset)
 
     p_exp = sub.add_parser("experiments", help="run all paper experiments")
     p_exp.add_argument("--scale", type=float, default=None,
                        help="volume scale (default: REPRO_SCALE or 1.0)")
+    p_exp.add_argument("--seed", type=int, default=20201027,
+                       help="simulation seed (default: 20201027)")
     p_exp.add_argument("--write", metavar="PATH",
                        help="write the combined report to PATH (markdown)")
+    p_exp.add_argument("--telemetry-out", metavar="PATH",
+                       help="write the session telemetry snapshot as JSON")
     p_exp.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)
+    if args.verbose:
+        from .telemetry import configure_logging
+
+        configure_logging(args.verbose)
     return args.func(args)
 
 

@@ -136,15 +136,56 @@ class CaptureView:
         return len(np.unique(self.address_keys(mask)))
 
 
+#: Upper-inclusive response-size bucket edges (bytes): the DNS-relevant
+#: landmarks — minimal responses, the 512-byte classic limit, common EDNS0
+#: buffer sizes, and the TCP ceiling.
+RESPONSE_SIZE_BUCKETS = (128.0, 256.0, 512.0, 1232.0, 1400.0, 4096.0, 65535.0)
+
+
 class CaptureStore:
     """Append buffer that freezes into a :class:`CaptureView`."""
 
     def __init__(self):
         self._rows: List[Tuple] = []
         self._frozen: Optional[CaptureView] = None
+        #: Monotonic count of rows ever appended (currently equals
+        #: ``len(self)``; kept separate so future eviction/rotation cannot
+        #: silently change the telemetry meaning).
+        self.rows_appended = 0
 
     def __len__(self) -> int:
         return len(self._rows)
+
+    def publish_metrics(self, metrics, window_seconds: Optional[float] = None) -> None:
+        """Aggregate capture-side telemetry into a
+        :class:`~repro.telemetry.MetricsRegistry`.
+
+        ``window_seconds`` is the wall time the appends happened over
+        (the driver passes its resolve-phase total) and yields an
+        append-throughput gauge.  Response sizes are bucketed in bulk via
+        numpy — no per-row Python loop.
+        """
+        metrics.counter("capture.rows_appended").inc(self.rows_appended)
+        if window_seconds is not None and window_seconds > 0:
+            metrics.gauge("capture.append_rows_per_s").set(
+                self.rows_appended / window_seconds
+            )
+        hist = metrics.histogram(
+            "capture.response_size_bytes", buckets=RESPONSE_SIZE_BUCKETS
+        )
+        sizes = self.view().response_size
+        if len(sizes):
+            indices = np.searchsorted(
+                np.asarray(hist.bounds), sizes.astype(np.float64), side="left"
+            )
+            counts = np.bincount(indices, minlength=len(hist.bounds) + 1)
+            hist.add_bulk(
+                counts.tolist(),
+                int(len(sizes)),
+                float(sizes.sum()),
+                float(sizes.min()),
+                float(sizes.max()),
+            )
 
     def append(self, record: QueryRecord) -> None:
         """Add one observation (invalidates any previous view)."""
@@ -167,6 +208,7 @@ class CaptureStore:
                 np.nan if record.tcp_rtt_ms is None else record.tcp_rtt_ms,
             )
         )
+        self.rows_appended += 1
         self._frozen = None
 
     def extend(self, records: Iterable[QueryRecord]) -> None:

@@ -17,6 +17,7 @@ from ..analysis import AttributionResult, Attributor
 from ..capture import CaptureView
 from ..clouds import PROVIDERS
 from ..sim import DatasetRun, run_dataset
+from ..telemetry import MetricsRegistry
 from ..workload import dataset, monthly_google_descriptor
 
 #: Environment variable scaling all client-query volumes (default 1.0).
@@ -35,11 +36,24 @@ def configured_scale(default: float = 1.0) -> float:
 
 
 class ExperimentContext:
-    """Caches simulated datasets and their attribution results."""
+    """Caches simulated datasets and their attribution results.
 
-    def __init__(self, scale: Optional[float] = None, seed: int = 20201027):
+    Each context carries a session-level :class:`MetricsRegistry`; every
+    dataset simulation merges its run telemetry into it, so after a batch
+    of experiments ``ctx.telemetry.snapshot()`` is the whole session's
+    phase/counter record (exported by the CLI's ``--telemetry-out`` and the
+    benchmark suite's ``BENCH_telemetry.json``).
+    """
+
+    def __init__(
+        self,
+        scale: Optional[float] = None,
+        seed: int = 20201027,
+        telemetry: Optional[MetricsRegistry] = None,
+    ):
         self.scale = configured_scale() if scale is None else scale
         self.seed = seed
+        self.telemetry = MetricsRegistry() if telemetry is None else telemetry
         self._runs: Dict[str, DatasetRun] = {}
         self._attributions: Dict[str, AttributionResult] = {}
 
@@ -51,7 +65,10 @@ class ExperimentContext:
         if cached is None:
             descriptor = dataset(dataset_id)
             volume = max(500, int(descriptor.client_queries * self.scale))
-            cached = run_dataset(descriptor, seed=self.seed, client_queries=volume)
+            cached = run_dataset(
+                descriptor, seed=self.seed, client_queries=volume,
+                telemetry=self.telemetry,
+            )
             self._runs[dataset_id] = cached
         return cached
 
@@ -61,7 +78,10 @@ class ExperimentContext:
         cached = self._runs.get(descriptor.dataset_id)
         if cached is None:
             volume = max(500, int(descriptor.client_queries * self.scale))
-            cached = run_dataset(descriptor, seed=self.seed, client_queries=volume)
+            cached = run_dataset(
+                descriptor, seed=self.seed, client_queries=volume,
+                telemetry=self.telemetry,
+            )
             self._runs[descriptor.dataset_id] = cached
         return cached
 
@@ -74,7 +94,7 @@ class ExperimentContext:
         cached = self._attributions.get(dataset_id)
         if cached is None:
             run = self.run(dataset_id)
-            cached = Attributor(run.registry, PROVIDERS).attribute(run.capture.view())
+            cached = self._attribute(run)
             self._attributions[dataset_id] = cached
         return cached
 
@@ -83,6 +103,14 @@ class ExperimentContext:
         key = run.descriptor.dataset_id
         cached = self._attributions.get(key)
         if cached is None:
-            cached = Attributor(run.registry, PROVIDERS).attribute(run.capture.view())
+            cached = self._attribute(run)
             self._attributions[key] = cached
         return run, cached
+
+    def _attribute(self, run: DatasetRun) -> AttributionResult:
+        view = run.capture.view()
+        with self.telemetry.time_phase("attribution"):
+            result = Attributor(run.registry, PROVIDERS).attribute(view)
+        self.telemetry.counter("analysis.attribution_passes").inc()
+        self.telemetry.counter("analysis.rows_attributed").inc(len(view))
+        return result

@@ -42,6 +42,11 @@ class Report:
     rows: List[ReportRow] = field(default_factory=list)
     series: Dict[str, List] = field(default_factory=dict)  #: chart data
     notes: List[str] = field(default_factory=list)
+    #: Telemetry attached by the runner harness (render_all): how long this
+    #: experiment took, and which session counters it moved (simulation +
+    #: analysis work it triggered; empty when everything came from cache).
+    wall_time_s: Optional[float] = None
+    counter_deltas: Dict[str, int] = field(default_factory=dict)
 
     def add(self, label: str, paper: Number, measured: Number, unit: str = "", note: str = "") -> None:
         self.rows.append(ReportRow(label, paper, measured, unit, note))
@@ -73,4 +78,15 @@ class Report:
                 )
         for note in self.notes:
             lines.append(f"note: {note}")
+        if self.wall_time_s is not None:
+            telemetry = f"telemetry: wall {self.wall_time_s:.2f}s"
+            if self.counter_deltas:
+                top = sorted(
+                    self.counter_deltas.items(), key=lambda kv: (-abs(kv[1]), kv[0])
+                )[:4]
+                deltas = ", ".join(f"{key} +{value}" for key, value in top)
+                telemetry += f"; {deltas}"
+                if len(self.counter_deltas) > len(top):
+                    telemetry += f" (+{len(self.counter_deltas) - len(top)} more)"
+            lines.append(telemetry)
         return "\n".join(lines)

@@ -69,13 +69,22 @@ class ResolverBehavior:
 
 @dataclass
 class ResolverStats:
-    """Counters for one resolver's authoritative-side activity."""
+    """Counters for one resolver's authoritative-side activity.
+
+    Kept as plain attribute increments (not registry counters) because
+    ``_resolve``/``_send`` are the simulator's hottest path; the driver
+    aggregates these into the run's telemetry registry after the resolve
+    loop (see :func:`repro.sim.driver.publish_fleet_metrics`).
+    """
 
     client_queries: int = 0
     auth_queries: int = 0
     tcp_retries: int = 0
     servfails: int = 0
     drops: int = 0
+    cache_hits: int = 0      #: answers served from cache (positive or negative)
+    cache_misses: int = 0    #: resolutions that had to go to the network
+    by_qtype: Dict[int, int] = field(default_factory=dict)  #: auth sends per qtype
 
 
 class _Session:
@@ -180,10 +189,13 @@ class SimResolver:
 
         cached = self.cache.get(session.now, qname, qtype)
         if cached is not None:
+            self.stats.cache_hits += 1
             return RCode.NOERROR
         negative = self.cache.get_negative(session.now, qname)
         if negative is not None:
+            self.stats.cache_hits += 1
             return negative
+        self.stats.cache_misses += 1
 
         tld = network.tld_of(qname)
         if tld is None:
@@ -417,6 +429,8 @@ class SimResolver:
         """One authoritative exchange: UDP, then TCP on truncation, with
         bounded retries on RRL drops."""
         behavior = self.behavior
+        qtype_counts = self.stats.by_qtype
+        qtype_counts[int(qtype)] = qtype_counts.get(int(qtype), 0) + 1
         failed: set = set()
         for attempt in range(behavior.max_retries + 1):
             server = self._choose_server(server_set, frozenset(failed))

@@ -82,6 +82,39 @@ class AuthoritativeServer:
     def is_anycast(self) -> bool:
         return len(self.sites) > 1
 
+    # -- telemetry -------------------------------------------------------------
+
+    def publish_metrics(self, metrics) -> None:
+        """Aggregate this server's counters into a
+        :class:`~repro.telemetry.MetricsRegistry` (labelled by server id).
+
+        Called once per run by the simulation driver — the per-query path
+        keeps its cheap :class:`ServerStats` increments.
+        """
+        from ..dnscore import RCode
+
+        label = {"server": self.server_id}
+        metrics.counter("server.queries", **label).inc(self.stats.queries)
+        metrics.counter("server.truncated", **label).inc(self.stats.truncated)
+        metrics.counter("server.rrl_dropped", **label).inc(self.stats.rrl_dropped)
+        metrics.counter("server.rrl_slipped", **label).inc(self.stats.rrl_slipped)
+        for rcode, count in self.stats.by_rcode.items():
+            try:
+                rcode_name = RCode(rcode).name
+            except ValueError:
+                rcode_name = str(rcode)
+            metrics.counter(
+                "server.responses", server=self.server_id, rcode=rcode_name
+            ).inc(count)
+        if self._limiter is not None:
+            rrl = self._limiter.stats
+            metrics.counter("rrl.passed", **label).inc(rrl.passed)
+            metrics.counter("rrl.slipped", **label).inc(rrl.slipped)
+            metrics.counter("rrl.dropped", **label).inc(rrl.dropped)
+            metrics.gauge("rrl.tracked_prefixes", **label).set(
+                self._limiter.tracked_prefixes
+            )
+
     def catchment_site(self, client_site: Site) -> Site:
         """Which anycast instance a client at ``client_site`` reaches."""
         site = self._catchment_cache.get(client_site.code)

@@ -31,6 +31,15 @@ class RRLConfig:
     v6_prefix_len: int = 56
 
 
+@dataclass
+class RRLStats:
+    """Verdict counters for one rate limiter."""
+
+    passed: int = 0
+    slipped: int = 0
+    dropped: int = 0
+
+
 class RateLimiter:
     """Per-source-prefix token bucket with slip accounting."""
 
@@ -40,8 +49,14 @@ class RateLimiter:
 
     def __init__(self, config: RRLConfig):
         self.config = config
+        self.stats = RRLStats()
         self._buckets: Dict[Tuple[int, int], Tuple[float, float]] = {}
         self._slip_counters: Dict[Tuple[int, int], int] = {}
+
+    @property
+    def tracked_prefixes(self) -> int:
+        """How many distinct source prefixes have live token buckets."""
+        return len(self._buckets)
 
     def _bucket_key(self, src: IPAddress) -> Tuple[int, int]:
         length = (
@@ -60,10 +75,13 @@ class RateLimiter:
         )
         if tokens >= 1.0:
             self._buckets[key] = (tokens - 1.0, now)
+            self.stats.passed += 1
             return self.PASS
         self._buckets[key] = (tokens, now)
         count = self._slip_counters.get(key, 0) + 1
         self._slip_counters[key] = count
         if self.config.slip > 0 and count % self.config.slip == 0:
+            self.stats.slipped += 1
             return self.SLIP
+        self.stats.dropped += 1
         return self.DROP

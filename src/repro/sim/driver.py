@@ -8,12 +8,22 @@ layer needs (AS registry, PTR table, fleet metadata).
 
 This is the reproduction's stand-in for "one week of pcap collection at the
 vantage point".
+
+Every run is instrumented through :mod:`repro.telemetry`: phase spans
+(``zone_build`` / ``fleet_build`` / ``workload`` / ``resolve``), per-provider
+client-query counters, aggregated resolver/server/capture counters, and
+periodic progress logging on the ``repro.sim`` logger.  The frozen
+:class:`~repro.telemetry.TelemetrySnapshot` rides on the returned
+:class:`DatasetRun`.
 """
 
 from __future__ import annotations
 
+import itertools
+import logging
+import time
 from dataclasses import dataclass, field, replace as dc_replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -24,7 +34,7 @@ from ..clouds import (
     build_all_fleets,
     build_facebook_ptr_table,
 )
-from ..dnscore import Name, ROOT
+from ..dnscore import Name, ROOT, RRType
 from ..netsim import ASRegistry, GAZETTEER, LatencyModel
 from ..resolver import (
     AuthorityNetwork,
@@ -33,6 +43,7 @@ from ..resolver import (
     SyntheticLeafAuthority,
 )
 from ..server import AuthoritativeServer, ServerSet
+from ..telemetry import MetricsRegistry, TelemetrySnapshot
 from ..workload import DatasetDescriptor, DiurnalPattern, WorkloadGenerator
 from ..zones import (
     DEFAULT_TLDS,
@@ -42,6 +53,16 @@ from ..zones import (
     build_root_zone,
     domains_of,
 )
+
+logger = logging.getLogger("repro.sim")
+
+#: Queries materialised per workload/resolve phase alternation.  Bounds
+#: both the memory held in flight and the timer overhead (two spans per
+#: chunk, not per query).
+_CHUNK = 8192
+
+#: Seconds between progress log lines during the resolve loop.
+_PROGRESS_INTERVAL_S = 5.0
 
 
 @dataclass
@@ -57,6 +78,7 @@ class DatasetRun:
     vantage_zone: Optional[Zone]
     server_sets: Dict[str, ServerSet]
     client_queries_run: int = 0
+    telemetry: Optional[TelemetrySnapshot] = None
 
     @property
     def vantage_server_ids(self) -> List[str]:
@@ -108,61 +130,121 @@ def _apply_qmin_override(fleet: Sequence[FleetResolver], enabled: bool) -> None:
             )
 
 
+# -- telemetry aggregation -------------------------------------------------------
+
+def publish_fleet_metrics(metrics: MetricsRegistry, fleet: Iterable) -> None:
+    """Roll every fleet member's :class:`~repro.resolver.engine.ResolverStats`
+    up into per-provider ``resolver.*`` counters and per-qtype send counts.
+
+    ``fleet`` needs only ``.provider`` and ``.resolver.stats`` attributes,
+    so tests can feed stripped-down stand-ins.
+    """
+    for member in fleet:
+        stats = member.resolver.stats
+        label = {"provider": member.provider}
+        metrics.counter("resolver.client_queries", **label).inc(stats.client_queries)
+        metrics.counter("resolver.auth_queries", **label).inc(stats.auth_queries)
+        metrics.counter("resolver.tcp_retries", **label).inc(stats.tcp_retries)
+        metrics.counter("resolver.servfails", **label).inc(stats.servfails)
+        metrics.counter("resolver.drops", **label).inc(stats.drops)
+        metrics.counter("resolver.cache_hits", **label).inc(stats.cache_hits)
+        metrics.counter("resolver.cache_misses", **label).inc(stats.cache_misses)
+        for qtype, count in stats.by_qtype.items():
+            try:
+                qtype_name = RRType(qtype).name
+            except ValueError:
+                qtype_name = str(qtype)
+            metrics.counter("resolver.sends", qtype=qtype_name).inc(count)
+
+
+def publish_server_metrics(
+    metrics: MetricsRegistry, server_sets: Dict[str, ServerSet]
+) -> None:
+    """Aggregate every authoritative server's counters (queries served,
+    rcode mix, truncation, RRL verdicts) into the registry."""
+    for server_set in server_sets.values():
+        for server in server_set:
+            server.publish_metrics(metrics)
+
+
+def _publish_run_metrics(
+    metrics: MetricsRegistry,
+    fleet: Sequence[FleetResolver],
+    server_sets: Dict[str, ServerSet],
+    capture: CaptureStore,
+) -> None:
+    publish_fleet_metrics(metrics, fleet)
+    publish_server_metrics(metrics, server_sets)
+    capture.publish_metrics(metrics, window_seconds=metrics.phase_seconds("resolve"))
+    metrics.gauge("sim.fleet_size").set(len(fleet))
+
+
 def run_dataset(
     descriptor: DatasetDescriptor,
     seed: int = 20201027,
     client_queries: Optional[int] = None,
+    telemetry: Optional[MetricsRegistry] = None,
 ) -> DatasetRun:
     """Simulate one dataset and return its capture.
 
     ``client_queries`` overrides the descriptor's volume (tests use small
     values; benchmarks use the descriptor default).
+
+    ``telemetry`` optionally names a session-level registry (e.g. an
+    :class:`~repro.experiments.context.ExperimentContext`'s) into which
+    this run's metrics are merged; the run itself always instruments a
+    fresh registry whose snapshot lands on ``DatasetRun.telemetry``.
     """
     latency = LatencyModel()
     rng = np.random.default_rng(seed)
+    metrics = MetricsRegistry()
 
     # -- authoritative side ---------------------------------------------------
-    vantage_zone = _build_vantage_zone(descriptor)
-    capture = CaptureStore()
-    server_sets: Dict[str, ServerSet] = {}
+    with metrics.time_phase("zone_build"):
+        vantage_zone = _build_vantage_zone(descriptor)
+        capture = CaptureStore()
+        server_sets: Dict[str, ServerSet] = {}
 
-    root_zone = build_root_zone(seed=7)
-    if descriptor.vantage == "root":
-        root_set = _build_servers(descriptor, root_zone, capture, latency)
-        tld_sets: Dict[Name, ServerSet] = {}
-    else:
-        root_set = ServerSet(
-            [
-                AuthoritativeServer(
-                    "root-x", root_zone,
-                    [GAZETTEER[c] for c in ("LAX", "AMS", "SIN")],
-                    capture=None,
-                )
-            ],
-            latency,
-        )
-        tld_set = _build_servers(descriptor, vantage_zone, capture, latency)
-        tld_sets = {vantage_zone.origin: tld_set}
-        server_sets[descriptor.vantage] = tld_set
-    server_sets["root"] = root_set
+        root_zone = build_root_zone(seed=7)
+        if descriptor.vantage == "root":
+            root_set = _build_servers(descriptor, root_zone, capture, latency)
+            tld_sets: Dict[Name, ServerSet] = {}
+        else:
+            root_set = ServerSet(
+                [
+                    AuthoritativeServer(
+                        "root-x", root_zone,
+                        [GAZETTEER[c] for c in ("LAX", "AMS", "SIN")],
+                        capture=None,
+                    )
+                ],
+                latency,
+            )
+            tld_set = _build_servers(descriptor, vantage_zone, capture, latency)
+            tld_sets = {vantage_zone.origin: tld_set}
+            server_sets[descriptor.vantage] = tld_set
+        server_sets["root"] = root_set
 
-    # The Feb-2020 .nz misconfiguration: two domains in a cyclic NS loop.
-    storm_domains: List[Name] = []
-    leaf = SyntheticLeafAuthority()
-    if descriptor.cyclic_event and vantage_zone is not None:
-        pair_domains = domains_of(vantage_zone)[:2]
-        leaf = SyntheticLeafAuthority([CyclicPair(pair_domains[0], pair_domains[1])])
-        storm_domains = list(pair_domains)
+        # The Feb-2020 .nz misconfiguration: two domains in a cyclic NS loop.
+        storm_domains: List[Name] = []
+        leaf = SyntheticLeafAuthority()
+        if descriptor.cyclic_event and vantage_zone is not None:
+            pair_domains = domains_of(vantage_zone)[:2]
+            leaf = SyntheticLeafAuthority(
+                [CyclicPair(pair_domains[0], pair_domains[1])]
+            )
+            storm_domains = list(pair_domains)
 
-    network = AuthorityNetwork(root=root_set, tlds=tld_sets, leaf=leaf)
+        network = AuthorityNetwork(root=root_set, tlds=tld_sets, leaf=leaf)
 
     # -- resolver fleets ---------------------------------------------------------
-    fleet, registry = build_all_fleets(descriptor.vantage, descriptor.year, seed)
-    if descriptor.providers_only is not None:
-        fleet = [m for m in fleet if m.provider in descriptor.providers_only]
-    if descriptor.qmin_override is not None:
-        _apply_qmin_override(fleet, descriptor.qmin_override)
-    ptr_table = build_facebook_ptr_table(fleet)
+    with metrics.time_phase("fleet_build"):
+        fleet, registry = build_all_fleets(descriptor.vantage, descriptor.year, seed)
+        if descriptor.providers_only is not None:
+            fleet = [m for m in fleet if m.provider in descriptor.providers_only]
+        if descriptor.qmin_override is not None:
+            _apply_qmin_override(fleet, descriptor.qmin_override)
+        ptr_table = build_facebook_ptr_table(fleet)
 
     # -- client workload ---------------------------------------------------------
     domains = domains_of(vantage_zone) if vantage_zone is not None else []
@@ -178,7 +260,13 @@ def run_dataset(
     if total_weight <= 0:
         raise ValueError("fleet has no traffic weight")
 
+    logger.info(
+        "run %s: %d client queries over %d resolvers",
+        descriptor.dataset_id, total_queries, len(fleet),
+    )
     run_count = 0
+    loop_started = time.perf_counter()
+    last_progress = loop_started
     for index, member in enumerate(fleet):
         count = int(round(total_queries * member.weight / total_weight))
         if count <= 0:
@@ -186,16 +274,51 @@ def run_dataset(
         storm_fraction = 0.0
         if storm_domains and member.provider == "Google":
             storm_fraction = 0.25
-        for query in generator.generate(
+        stream = generator.generate(
             resolver_index=index,
             count=count,
             pattern=pattern,
             junk_fraction=member.junk_fraction,
             storm_domains=storm_domains,
             storm_fraction=storm_fraction,
-        ):
-            member.resolver.resolve(network, query.timestamp, query.qname, query.qtype)
-            run_count += 1
+        )
+        provider_counter = metrics.counter(
+            "sim.client_queries", provider=member.provider
+        )
+        resolve = member.resolver.resolve
+        while True:
+            # Workload generation and the resolve loop alternate in bounded
+            # chunks so both phases are timed separately without holding a
+            # whole member's query list in memory.
+            with metrics.time_phase("workload"):
+                chunk = list(itertools.islice(stream, _CHUNK))
+            if not chunk:
+                break
+            with metrics.time_phase("resolve"):
+                for query in chunk:
+                    resolve(network, query.timestamp, query.qname, query.qtype)
+            run_count += len(chunk)
+            provider_counter.inc(len(chunk))
+            now = time.perf_counter()
+            if now - last_progress >= _PROGRESS_INTERVAL_S:
+                rate = run_count / max(now - loop_started, 1e-9)
+                logger.info(
+                    "progress: %d/%d client queries (%.0f q/s, %d captured rows,"
+                    " at %s fleet member %d/%d)",
+                    run_count, total_queries, rate, len(capture),
+                    member.provider, index + 1, len(fleet),
+                )
+                last_progress = now
+
+    _publish_run_metrics(metrics, fleet, server_sets, capture)
+    snapshot = metrics.snapshot()
+    logger.info(
+        "run %s done: %d client queries, %d captured rows, %.2fs resolve time",
+        descriptor.dataset_id, run_count, len(capture),
+        snapshot.phase_seconds("resolve"),
+    )
+    if telemetry is not None:
+        telemetry.merge_snapshot(snapshot)
 
     return DatasetRun(
         descriptor=descriptor,
@@ -207,4 +330,5 @@ def run_dataset(
         vantage_zone=vantage_zone,
         server_sets=server_sets,
         client_queries_run=run_count,
+        telemetry=snapshot,
     )

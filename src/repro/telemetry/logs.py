@@ -1,0 +1,102 @@
+"""Structured logging and human-readable telemetry summaries.
+
+The simulator logs under the ``repro.*`` logger hierarchy
+(``repro.sim`` for driver progress, ``repro.telemetry`` for phase spans).
+:func:`configure_logging` wires that hierarchy to stderr at a verbosity
+chosen on the CLI; :func:`format_summary` renders a
+:class:`~repro.telemetry.registry.TelemetrySnapshot` as the phase/counter
+table the CLI prints after a run.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import List, Optional
+
+from .registry import TelemetrySnapshot
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER = "repro"
+
+_FORMAT = "%(relativeCreated)8.0fms %(name)s %(levelname)s: %(message)s"
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach a stderr handler to the ``repro`` logger hierarchy.
+
+    ``verbosity`` 0 → WARNING, 1 → INFO (driver progress lines),
+    2+ → DEBUG (per-phase span timings).  Idempotent: re-configuring
+    replaces the previous handler rather than stacking them.
+    """
+    root = logging.getLogger(ROOT_LOGGER)
+    level = (
+        logging.WARNING if verbosity <= 0
+        else logging.INFO if verbosity == 1
+        else logging.DEBUG
+    )
+    root.setLevel(level)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(logging.Formatter(_FORMAT))
+    for old in [h for h in root.handlers if getattr(h, "_repro_handler", False)]:
+        root.removeHandler(old)
+    handler._repro_handler = True
+    root.addHandler(handler)
+    root.propagate = False
+    return root
+
+
+def format_summary(
+    snapshot: TelemetrySnapshot,
+    title: str = "telemetry",
+    max_counters: Optional[int] = None,
+) -> str:
+    """Human-readable phase/counter/gauge summary of one snapshot.
+
+    ``max_counters`` truncates the counter table to the largest N entries
+    (None = print everything).
+    """
+    lines: List[str] = [f"-- {title}: phases --"]
+    if snapshot.phases:
+        width = max(len(name) for name in snapshot.phases)
+        for name, stat in sorted(
+            snapshot.phases.items(),
+            key=lambda item: -float(item[1]["total_s"]),
+        ):
+            lines.append(
+                f"{name.ljust(width)}  {float(stat['total_s']):9.3f}s"
+                f"  ({int(stat['count'])} span"
+                f"{'s' if int(stat['count']) != 1 else ''},"
+                f" max {float(stat['max_s']):.3f}s)"
+            )
+    else:
+        lines.append("(no phases recorded)")
+
+    lines.append(f"-- {title}: counters --")
+    if snapshot.counters:
+        items = sorted(snapshot.counters.items(), key=lambda kv: (-kv[1], kv[0]))
+        shown = items if max_counters is None else items[:max_counters]
+        width = max(len(key) for key, _ in shown)
+        for key, value in shown:
+            lines.append(f"{key.ljust(width)}  {value:>12}")
+        if len(items) > len(shown):
+            lines.append(f"... {len(items) - len(shown)} more counters")
+    else:
+        lines.append("(no counters recorded)")
+
+    if snapshot.gauges:
+        lines.append(f"-- {title}: gauges --")
+        width = max(len(key) for key in snapshot.gauges)
+        for key, value in sorted(snapshot.gauges.items()):
+            lines.append(f"{key.ljust(width)}  {value:>12.3f}")
+
+    if snapshot.histograms:
+        lines.append(f"-- {title}: histograms --")
+        for key, data in sorted(snapshot.histograms.items()):
+            count = int(data["count"])
+            mean = (float(data["sum"]) / count) if count else 0.0
+            lines.append(
+                f"{key}: n={count} mean={mean:.1f}"
+                f" min={data['min']} max={data['max']}"
+            )
+    return "\n".join(lines)

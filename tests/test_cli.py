@@ -17,10 +17,65 @@ class TestCLI:
 
     def test_dataset_runs_and_reports(self, capsys):
         assert main(["dataset", "nz-w2018", "--scale", "0.01", "--seed", "7"]) == 0
-        out = capsys.readouterr().out
+        captured = capsys.readouterr()
+        out = captured.out
         assert "captured queries" in out
         assert "all 5 CPs" in out
         assert "Google" in out
+        # Satellite: resolver-fleet totals surface in the CLI output.
+        assert "fleet totals:" in out
+        assert "auth queries" in out
+        assert "tcp retries" in out
+        assert "servfails" in out
+        # Phase/counter summary lands on stderr.
+        assert "phases" in captured.err
+        assert "resolve" in captured.err
+
+    def test_dataset_telemetry_out(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        assert main(
+            ["dataset", "nz-w2018", "--scale", "0.01",
+             "--telemetry-out", str(path)]
+        ) == 0
+        capsys.readouterr()
+        data = json.loads(path.read_text())
+        assert set(data) == {"counters", "gauges", "phases", "histograms"}
+        for phase in ("zone_build", "fleet_build", "workload", "resolve"):
+            assert phase in data["phases"]
+        provider_sum = sum(
+            value for key, value in data["counters"].items()
+            if key.startswith("sim.client_queries{")
+        )
+        assert provider_sum == sum(
+            value for key, value in data["counters"].items()
+            if key.startswith("resolver.client_queries{")
+        )
+        assert provider_sum > 0
+        assert data["counters"]["capture.rows_appended"] > 0
+
+    def test_dataset_scale_honors_repro_scale_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "0.01")
+        assert main(["dataset", "nz-w2018"]) == 0
+        captured = capsys.readouterr()
+        assert "simulating nz-w2018 (750 client queries)" in captured.err
+
+    def test_experiments_seed_and_scale_plumbed(self, capsys, monkeypatch):
+        from repro.experiments import render_all
+
+        seen = {}
+
+        def fake_run_and_render(scale=None, dataset_filter=None,
+                                seed=20201027, ctx=None):
+            seen["ctx"] = ctx
+            return "# stub report"
+
+        monkeypatch.setattr(render_all, "run_and_render", fake_run_and_render)
+        assert main(["experiments", "--scale", "0.05", "--seed", "42"]) == 0
+        capsys.readouterr()
+        assert seen["ctx"].seed == 42
+        assert seen["ctx"].scale == 0.05
 
     def test_dataset_writes_csv(self, capsys, tmp_path):
         path = tmp_path / "capture.csv"
