@@ -55,7 +55,11 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     scale = configured_scale(0.2) if args.scale is None else args.scale
     volume = int(descriptor.client_queries * scale)
     print(f"simulating {args.dataset_id} ({volume} client queries)...", file=sys.stderr)
-    run = run_dataset(descriptor, client_queries=volume, seed=args.seed)
+    run = run_dataset(
+        descriptor, client_queries=volume, seed=args.seed, workers=args.workers
+    )
+    if run.runtime_report is not None:
+        print(f"runtime: {run.runtime_report.summary()}", file=sys.stderr)
     view = run.capture.view()
     attribution = Attributor(run.registry, PROVIDERS).attribute(view)
     summary = dataset_summary(view, attribution)
@@ -87,7 +91,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import ExperimentContext
     from .experiments.render_all import run_and_render
 
-    ctx = ExperimentContext(scale=args.scale, seed=args.seed)
+    ctx = ExperimentContext(scale=args.scale, seed=args.seed, workers=args.workers)
     content = run_and_render(ctx=ctx)
     if args.write:
         with open(args.write, "w") as handle:
@@ -121,6 +125,9 @@ def main(argv=None) -> int:
     p_dataset.add_argument("--out", help="write the capture to this CSV path")
     p_dataset.add_argument("--telemetry-out", metavar="PATH",
                            help="write the run's telemetry snapshot as JSON")
+    p_dataset.add_argument("--workers", type=int, default=None,
+                           help="worker processes for sharded execution"
+                                " (default: REPRO_WORKERS or 1 = serial)")
     p_dataset.set_defaults(func=_cmd_dataset)
 
     p_exp = sub.add_parser("experiments", help="run all paper experiments")
@@ -132,6 +139,9 @@ def main(argv=None) -> int:
                        help="write the combined report to PATH (markdown)")
     p_exp.add_argument("--telemetry-out", metavar="PATH",
                        help="write the session telemetry snapshot as JSON")
+    p_exp.add_argument("--workers", type=int, default=None,
+                       help="worker processes; datasets are simulated"
+                            " concurrently (default: REPRO_WORKERS or 1)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     args = parser.parse_args(argv)

@@ -187,33 +187,97 @@ class CaptureStore:
                 float(sizes.max()),
             )
 
+    @staticmethod
+    def _row_of(record: QueryRecord) -> Tuple:
+        family, hi, lo = split_address(record.src)
+        return (
+            record.timestamp,
+            record.server_id,
+            family,
+            hi,
+            lo,
+            int(record.transport),
+            record.qname,
+            record.qtype,
+            record.rcode,
+            record.edns_bufsize,
+            record.do_bit,
+            record.response_size,
+            record.truncated,
+            np.nan if record.tcp_rtt_ms is None else record.tcp_rtt_ms,
+        )
+
     def append(self, record: QueryRecord) -> None:
         """Add one observation (invalidates any previous view)."""
-        family, hi, lo = split_address(record.src)
-        self._rows.append(
-            (
-                record.timestamp,
-                record.server_id,
-                family,
-                hi,
-                lo,
-                int(record.transport),
-                record.qname,
-                record.qtype,
-                record.rcode,
-                record.edns_bufsize,
-                record.do_bit,
-                record.response_size,
-                record.truncated,
-                np.nan if record.tcp_rtt_ms is None else record.tcp_rtt_ms,
-            )
-        )
+        self._rows.append(self._row_of(record))
         self.rows_appended += 1
         self._frozen = None
 
     def extend(self, records: Iterable[QueryRecord]) -> None:
-        for record in records:
-            self.append(record)
+        """Bulk append: one view invalidation and one ``rows_appended``
+        update for the whole batch (the merge path's hot loop)."""
+        rows = [self._row_of(record) for record in records]
+        if not rows:
+            return
+        self._rows.extend(rows)
+        self.rows_appended += len(rows)
+        self._frozen = None
+
+    # -- sharded-runtime support -----------------------------------------------
+
+    def raw_rows(self) -> List[Tuple]:
+        """The internal row tuples (primitives only, hence cheap to pickle).
+
+        This is the cross-process transfer format of :mod:`repro.runtime`:
+        workers ship ``raw_rows()`` back to the parent, which rebuilds
+        stores via :meth:`from_raw_rows`.  Treat the list as opaque and
+        read-only.
+        """
+        return self._rows
+
+    @classmethod
+    def from_raw_rows(
+        cls, rows: List[Tuple], rows_appended: Optional[int] = None
+    ) -> "CaptureStore":
+        """Rebuild a store from :meth:`raw_rows` output (takes ownership)."""
+        store = cls()
+        store._rows = rows
+        store.rows_appended = len(rows) if rows_appended is None else rows_appended
+        return store
+
+    def sort_canonical(self) -> None:
+        """Stable sort into canonical ``(timestamp, server_id)`` order.
+
+        Both the serial path and the sharded merge canonicalise through
+        this, so captures compare equal column-for-column regardless of
+        worker count.  Stability matters: rows tied on both keys (e.g. one
+        client query fanning out to the same captured server) keep their
+        deterministic append order.
+        """
+        if len(self._rows) <= 1:
+            return
+        timestamps = np.array([row[0] for row in self._rows], dtype=np.float64)
+        server_ids = np.array([row[1] for row in self._rows], dtype=object)
+        __, server_codes = np.unique(server_ids, return_inverse=True)
+        order = np.lexsort((server_codes, timestamps))
+        self._rows = [self._rows[int(i)] for i in order]
+        self._frozen = None
+
+    @classmethod
+    def merge(cls, stores: Sequence["CaptureStore"]) -> "CaptureStore":
+        """Concatenate per-shard stores into one canonically-ordered store.
+
+        Shards are contiguous fleet ranges, so concatenating in shard-index
+        order reproduces the serial append sequence exactly; the stable
+        canonical sort then yields a result bit-identical to a serially
+        executed (and equally canonicalised) run.
+        """
+        merged = cls()
+        for store in stores:
+            merged._rows.extend(store._rows)
+            merged.rows_appended += store.rows_appended
+        merged.sort_canonical()
+        return merged
 
     def view(self) -> CaptureView:
         """Freeze appended rows into columnar form (cached until next append)."""

@@ -11,14 +11,22 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Tuple
 
 from ..analysis import AttributionResult, Attributor
-from ..capture import CaptureView
+from ..capture import CaptureStore, CaptureView
 from ..clouds import PROVIDERS
+from ..runtime import (
+    RuntimeConfig,
+    RuntimeReport,
+    ShardExecutor,
+    ShardTask,
+    configured_workers,
+    derive_shard_seed,
+)
 from ..sim import DatasetRun, run_dataset
 from ..telemetry import MetricsRegistry
-from ..workload import dataset, monthly_google_descriptor
+from ..workload import PAPER_DATASETS, dataset, monthly_google_descriptor
 
 #: Environment variable scaling all client-query volumes (default 1.0).
 SCALE_ENV = "REPRO_SCALE"
@@ -50,24 +58,29 @@ class ExperimentContext:
         scale: Optional[float] = None,
         seed: int = 20201027,
         telemetry: Optional[MetricsRegistry] = None,
+        workers: Optional[int] = None,
     ):
         self.scale = configured_scale() if scale is None else scale
         self.seed = seed
+        self.workers = configured_workers() if workers is None else int(workers)
         self.telemetry = MetricsRegistry() if telemetry is None else telemetry
         self._runs: Dict[str, DatasetRun] = {}
         self._attributions: Dict[str, AttributionResult] = {}
 
     # -- dataset runs --------------------------------------------------------
 
+    def _volume(self, descriptor) -> int:
+        return max(500, int(descriptor.client_queries * self.scale))
+
     def run(self, dataset_id: str) -> DatasetRun:
         """The (cached) simulation of one paper dataset."""
         cached = self._runs.get(dataset_id)
         if cached is None:
             descriptor = dataset(dataset_id)
-            volume = max(500, int(descriptor.client_queries * self.scale))
             cached = run_dataset(
-                descriptor, seed=self.seed, client_queries=volume,
-                telemetry=self.telemetry,
+                descriptor, seed=self.seed,
+                client_queries=self._volume(descriptor),
+                telemetry=self.telemetry, workers=self.workers,
             )
             self._runs[dataset_id] = cached
         return cached
@@ -77,13 +90,95 @@ class ExperimentContext:
         descriptor = monthly_google_descriptor(vantage, year, month)
         cached = self._runs.get(descriptor.dataset_id)
         if cached is None:
-            volume = max(500, int(descriptor.client_queries * self.scale))
             cached = run_dataset(
-                descriptor, seed=self.seed, client_queries=volume,
-                telemetry=self.telemetry,
+                descriptor, seed=self.seed,
+                client_queries=self._volume(descriptor),
+                telemetry=self.telemetry, workers=self.workers,
             )
             self._runs[descriptor.dataset_id] = cached
         return cached
+
+    def prefetch(self, dataset_ids: Optional[Iterable[str]] = None) -> None:
+        """Simulate several datasets concurrently, one pool task per dataset.
+
+        Dataset runs are independent, so batching them across the worker
+        pool parallelises better than sharding each run individually (one
+        environment build per dataset instead of one per shard).  Each
+        worker ships back its capture rows and telemetry; the parent
+        rebuilds the (deterministic) environment to recover the run's
+        registry/fleet/network objects and caches a :class:`DatasetRun`
+        indistinguishable from a locally-executed one.
+
+        Datasets whose shard failed even after the executor's retry and
+        serial fallback are simply left uncached — first use simulates
+        them lazily via :meth:`run`.
+        """
+        ids = sorted(PAPER_DATASETS) if dataset_ids is None else list(dataset_ids)
+        pending = [i for i in ids if i not in self._runs]
+        if not pending:
+            return
+        if self.workers <= 1 or len(pending) == 1:
+            for dataset_id in pending:
+                self.run(dataset_id)
+            return
+
+        # Lazy import: repro.sim.driver imports repro.runtime at module
+        # level, so pulling its internals in at call time keeps this module
+        # importable from either direction.
+        from ..sim.driver import build_environment
+
+        batch_metrics = MetricsRegistry()
+        tasks = []
+        for index, dataset_id in enumerate(pending):
+            descriptor = dataset(dataset_id)
+            tasks.append(ShardTask(
+                descriptor=descriptor,
+                seed=self.seed,
+                client_queries=self._volume(descriptor),
+                shard_index=index,
+                shard_seed=derive_shard_seed(self.seed, index),
+            ))
+        executor = ShardExecutor(
+            RuntimeConfig(workers=self.workers), batch_metrics
+        )
+        with batch_metrics.time_phase("runtime.prefetch"):
+            executor.submit(tasks)
+            results, batch_report = executor.collect()
+        self.telemetry.merge_snapshot(batch_metrics.snapshot())
+
+        by_index = {result.shard_index: result for result in results}
+        for index, dataset_id in enumerate(pending):
+            result = by_index.get(index)
+            if result is None:
+                continue
+            descriptor = tasks[index].descriptor
+            env = build_environment(descriptor, self.seed, MetricsRegistry())
+            capture = CaptureStore.from_raw_rows(
+                result.rows, result.rows_appended
+            )
+            capture.sort_canonical()
+            run_metrics = MetricsRegistry()
+            run_metrics.merge_snapshot(result.telemetry)
+            snapshot = run_metrics.snapshot()
+            self.telemetry.merge_snapshot(snapshot)
+            outcome = batch_report.outcomes[index]
+            self._runs[dataset_id] = DatasetRun(
+                descriptor=descriptor,
+                capture=capture,
+                registry=env.registry,
+                fleet=env.fleet,
+                ptr_table=env.ptr_table,
+                network=env.network,
+                vantage_zone=env.vantage_zone,
+                server_sets=env.server_sets,
+                client_queries_run=result.queries_run,
+                telemetry=snapshot,
+                runtime_report=RuntimeReport(
+                    mode="process-pool", workers=self.workers,
+                    shard_count=1, fallbacks=int(result.fallback),
+                    outcomes=[outcome],
+                ),
+            )
 
     # -- derived views ---------------------------------------------------------
 

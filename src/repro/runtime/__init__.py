@@ -1,0 +1,56 @@
+"""Sharded parallel execution engine for dataset simulation.
+
+Turns one :func:`repro.sim.run_dataset` call into a plan of deterministic
+shards executed on a worker pool and merged back into a bit-identical
+result:
+
+* :mod:`repro.runtime.planner` — weight-balanced contiguous shard plans
+  with spawn-key-derived per-shard seeds;
+* :mod:`repro.runtime.executor` — the process-pool backend with per-shard
+  timeout, retry-once, serial-fallback semantics, and ``runtime.*``
+  telemetry; the serial in-process backend lives in the driver itself;
+* merging — :meth:`repro.capture.CaptureStore.merge` (canonical
+  ``(timestamp, server_id)`` ordering) plus
+  :meth:`repro.telemetry.MetricsRegistry.merge_snapshot`.
+
+Determinism contract: per-resolver query streams are seeded by *global*
+fleet index, every worker rebuilds the full environment from
+``(descriptor, seed)``, and all cross-member simulation state is
+deterministic, so ``run_dataset(..., workers=N)`` yields the same capture
+and reports for any ``N``.
+"""
+
+from .executor import (
+    FAULT_CRASH,
+    FAULT_HANG,
+    RuntimeConfig,
+    RuntimeReport,
+    ShardExecutor,
+    ShardOutcome,
+    ShardResult,
+    ShardTask,
+    WORKERS_ENV,
+    configured_workers,
+    execute_shard_task,
+    resolve_runtime_config,
+)
+from .planner import Shard, ShardPlan, derive_shard_seed, plan_shards
+
+__all__ = [
+    "FAULT_CRASH",
+    "FAULT_HANG",
+    "RuntimeConfig",
+    "RuntimeReport",
+    "Shard",
+    "ShardExecutor",
+    "ShardOutcome",
+    "ShardPlan",
+    "ShardResult",
+    "ShardTask",
+    "WORKERS_ENV",
+    "configured_workers",
+    "derive_shard_seed",
+    "execute_shard_task",
+    "plan_shards",
+    "resolve_runtime_config",
+]

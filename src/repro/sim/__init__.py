@@ -1,5 +1,19 @@
 """End-to-end dataset simulation driver."""
 
-from .driver import DatasetRun, run_dataset
+from .driver import (
+    DatasetRun,
+    SimEnvironment,
+    build_environment,
+    run_dataset,
+    run_member_range,
+    simulate_shard,
+)
 
-__all__ = ["DatasetRun", "run_dataset"]
+__all__ = [
+    "DatasetRun",
+    "SimEnvironment",
+    "build_environment",
+    "run_dataset",
+    "run_member_range",
+    "simulate_shard",
+]

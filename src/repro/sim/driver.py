@@ -9,19 +9,32 @@ layer needs (AS registry, PTR table, fleet metadata).
 This is the reproduction's stand-in for "one week of pcap collection at the
 vantage point".
 
+Execution is sharded through :mod:`repro.runtime`: the fleet is partitioned
+into weight-balanced contiguous shards (:func:`repro.runtime.plan_shards`),
+which run either sequentially in-process (``workers <= 1``, the default —
+exactly the original serial loop) or on a process pool
+(:class:`repro.runtime.ShardExecutor`) whose per-shard captures and
+telemetry merge back into a result bit-identical to the serial path.  The
+capture always comes back in canonical ``(timestamp, server_id)`` order.
+
 Every run is instrumented through :mod:`repro.telemetry`: phase spans
-(``zone_build`` / ``fleet_build`` / ``workload`` / ``resolve``), per-provider
-client-query counters, aggregated resolver/server/capture counters, and
-periodic progress logging on the ``repro.sim`` logger.  The frozen
+(``zone_build`` / ``fleet_build`` / ``workload`` / ``resolve`` plus the
+``runtime.plan`` / ``runtime.execute`` / ``runtime.merge`` and per-shard
+``runtime.shard.<i>`` spans), per-provider client-query counters,
+aggregated resolver/server/capture counters, and periodic progress logging
+on the ``repro.sim`` logger.  The frozen
 :class:`~repro.telemetry.TelemetrySnapshot` rides on the returned
-:class:`DatasetRun`.
+:class:`DatasetRun`, alongside the :class:`~repro.runtime.RuntimeReport`
+describing how the shards actually executed.
 """
 
 from __future__ import annotations
 
 import itertools
 import logging
+import os
 import time
+import zlib
 from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
@@ -42,6 +55,16 @@ from ..resolver import (
     ResolverBehavior,
     SyntheticLeafAuthority,
 )
+from ..runtime import (
+    RuntimeConfig,
+    RuntimeReport,
+    ShardExecutor,
+    ShardOutcome,
+    ShardResult,
+    ShardTask,
+    plan_shards,
+    resolve_runtime_config,
+)
 from ..server import AuthoritativeServer, ServerSet
 from ..telemetry import MetricsRegistry, TelemetrySnapshot
 from ..workload import DatasetDescriptor, DiurnalPattern, WorkloadGenerator
@@ -61,8 +84,24 @@ logger = logging.getLogger("repro.sim")
 #: chunk, not per query).
 _CHUNK = 8192
 
-#: Seconds between progress log lines during the resolve loop.
+#: Seconds between progress log lines during the resolve loop (default;
+#: override per-run with the REPRO_PROGRESS_INTERVAL env var).
 _PROGRESS_INTERVAL_S = 5.0
+
+#: Environment variable overriding the progress-log interval, so long
+#: parallel runs can quiet their logs (e.g. REPRO_PROGRESS_INTERVAL=60).
+PROGRESS_INTERVAL_ENV = "REPRO_PROGRESS_INTERVAL"
+
+
+def progress_interval_s(default: float = _PROGRESS_INTERVAL_S) -> float:
+    """Progress-log interval, overridable via ``REPRO_PROGRESS_INTERVAL``."""
+    raw = os.environ.get(PROGRESS_INTERVAL_ENV)
+    if raw is None:
+        return default
+    value = float(raw)
+    if value <= 0:
+        raise ValueError(f"{PROGRESS_INTERVAL_ENV} must be positive")
+    return value
 
 
 @dataclass
@@ -79,17 +118,41 @@ class DatasetRun:
     server_sets: Dict[str, ServerSet]
     client_queries_run: int = 0
     telemetry: Optional[TelemetrySnapshot] = None
+    runtime_report: Optional[RuntimeReport] = None
 
     @property
     def vantage_server_ids(self) -> List[str]:
         return [spec.server_id for spec in self.descriptor.servers if spec.captured]
 
 
+@dataclass
+class SimEnvironment:
+    """The fully-built deterministic world for one dataset.
+
+    Constructed identically (given ``(descriptor, seed)``) in the parent
+    and in every pool worker; only the member range each party *resolves*
+    differs.  All cross-member state in here is deterministic — the latency
+    model and anycast catchments are memoised pure functions, the leaf
+    authority is hash-based, and every resolver carries its own RNG — which
+    is what makes shard placement invisible in the results.
+    """
+
+    descriptor: DatasetDescriptor
+    seed: int
+    latency: LatencyModel
+    vantage_zone: Optional[Zone]
+    capture: CaptureStore
+    server_sets: Dict[str, ServerSet]
+    network: AuthorityNetwork
+    storm_domains: List[Name]
+    fleet: List[FleetResolver]
+    registry: ASRegistry
+    ptr_table: PTRTable
+
+
 def _build_vantage_zone(descriptor: DatasetDescriptor) -> Optional[Zone]:
     if descriptor.vantage == "root":
         return None
-    import zlib
-
     spec = ZoneSpec(
         origin=descriptor.vantage,
         second_level_count=descriptor.zone_second_level,
@@ -130,74 +193,16 @@ def _apply_qmin_override(fleet: Sequence[FleetResolver], enabled: bool) -> None:
             )
 
 
-# -- telemetry aggregation -------------------------------------------------------
+def build_environment(
+    descriptor: DatasetDescriptor, seed: int, metrics: MetricsRegistry
+) -> SimEnvironment:
+    """Build the whole simulated world for one dataset (no queries run).
 
-def publish_fleet_metrics(metrics: MetricsRegistry, fleet: Iterable) -> None:
-    """Roll every fleet member's :class:`~repro.resolver.engine.ResolverStats`
-    up into per-provider ``resolver.*`` counters and per-qtype send counts.
-
-    ``fleet`` needs only ``.provider`` and ``.resolver.stats`` attributes,
-    so tests can feed stripped-down stand-ins.
-    """
-    for member in fleet:
-        stats = member.resolver.stats
-        label = {"provider": member.provider}
-        metrics.counter("resolver.client_queries", **label).inc(stats.client_queries)
-        metrics.counter("resolver.auth_queries", **label).inc(stats.auth_queries)
-        metrics.counter("resolver.tcp_retries", **label).inc(stats.tcp_retries)
-        metrics.counter("resolver.servfails", **label).inc(stats.servfails)
-        metrics.counter("resolver.drops", **label).inc(stats.drops)
-        metrics.counter("resolver.cache_hits", **label).inc(stats.cache_hits)
-        metrics.counter("resolver.cache_misses", **label).inc(stats.cache_misses)
-        for qtype, count in stats.by_qtype.items():
-            try:
-                qtype_name = RRType(qtype).name
-            except ValueError:
-                qtype_name = str(qtype)
-            metrics.counter("resolver.sends", qtype=qtype_name).inc(count)
-
-
-def publish_server_metrics(
-    metrics: MetricsRegistry, server_sets: Dict[str, ServerSet]
-) -> None:
-    """Aggregate every authoritative server's counters (queries served,
-    rcode mix, truncation, RRL verdicts) into the registry."""
-    for server_set in server_sets.values():
-        for server in server_set:
-            server.publish_metrics(metrics)
-
-
-def _publish_run_metrics(
-    metrics: MetricsRegistry,
-    fleet: Sequence[FleetResolver],
-    server_sets: Dict[str, ServerSet],
-    capture: CaptureStore,
-) -> None:
-    publish_fleet_metrics(metrics, fleet)
-    publish_server_metrics(metrics, server_sets)
-    capture.publish_metrics(metrics, window_seconds=metrics.phase_seconds("resolve"))
-    metrics.gauge("sim.fleet_size").set(len(fleet))
-
-
-def run_dataset(
-    descriptor: DatasetDescriptor,
-    seed: int = 20201027,
-    client_queries: Optional[int] = None,
-    telemetry: Optional[MetricsRegistry] = None,
-) -> DatasetRun:
-    """Simulate one dataset and return its capture.
-
-    ``client_queries`` overrides the descriptor's volume (tests use small
-    values; benchmarks use the descriptor default).
-
-    ``telemetry`` optionally names a session-level registry (e.g. an
-    :class:`~repro.experiments.context.ExperimentContext`'s) into which
-    this run's metrics are merged; the run itself always instruments a
-    fresh registry whose snapshot lands on ``DatasetRun.telemetry``.
+    Timed under the ``zone_build`` / ``fleet_build`` phases.  Deterministic
+    given ``(descriptor, seed)`` — pool workers call this independently and
+    arrive at the same world as the parent.
     """
     latency = LatencyModel()
-    rng = np.random.default_rng(seed)
-    metrics = MetricsRegistry()
 
     # -- authoritative side ---------------------------------------------------
     with metrics.time_phase("zone_build"):
@@ -246,46 +251,127 @@ def run_dataset(
             _apply_qmin_override(fleet, descriptor.qmin_override)
         ptr_table = build_facebook_ptr_table(fleet)
 
-    # -- client workload ---------------------------------------------------------
-    domains = domains_of(vantage_zone) if vantage_zone is not None else []
+    return SimEnvironment(
+        descriptor=descriptor,
+        seed=seed,
+        latency=latency,
+        vantage_zone=vantage_zone,
+        capture=capture,
+        server_sets=server_sets,
+        network=network,
+        storm_domains=storm_domains,
+        fleet=fleet,
+        registry=registry,
+        ptr_table=ptr_table,
+    )
+
+
+# -- telemetry aggregation -------------------------------------------------------
+
+def publish_fleet_metrics(metrics: MetricsRegistry, fleet: Iterable) -> None:
+    """Roll every fleet member's :class:`~repro.resolver.engine.ResolverStats`
+    up into per-provider ``resolver.*`` counters and per-qtype send counts.
+
+    ``fleet`` needs only ``.provider`` and ``.resolver.stats`` attributes,
+    so tests can feed stripped-down stand-ins.  Sharded runs pass each
+    shard's member slice so worker-side publishes never double-count.
+    """
+    for member in fleet:
+        stats = member.resolver.stats
+        label = {"provider": member.provider}
+        metrics.counter("resolver.client_queries", **label).inc(stats.client_queries)
+        metrics.counter("resolver.auth_queries", **label).inc(stats.auth_queries)
+        metrics.counter("resolver.tcp_retries", **label).inc(stats.tcp_retries)
+        metrics.counter("resolver.servfails", **label).inc(stats.servfails)
+        metrics.counter("resolver.drops", **label).inc(stats.drops)
+        metrics.counter("resolver.cache_hits", **label).inc(stats.cache_hits)
+        metrics.counter("resolver.cache_misses", **label).inc(stats.cache_misses)
+        for qtype, count in stats.by_qtype.items():
+            try:
+                qtype_name = RRType(qtype).name
+            except ValueError:
+                qtype_name = str(qtype)
+            metrics.counter("resolver.sends", qtype=qtype_name).inc(count)
+
+
+def publish_server_metrics(
+    metrics: MetricsRegistry, server_sets: Dict[str, ServerSet]
+) -> None:
+    """Aggregate every authoritative server's counters (queries served,
+    rcode mix, truncation, RRL verdicts) into the registry."""
+    for server_set in server_sets.values():
+        for server in server_set:
+            server.publish_metrics(metrics)
+
+
+def _publish_run_metrics(
+    metrics: MetricsRegistry,
+    fleet: Sequence[FleetResolver],
+    server_sets: Dict[str, ServerSet],
+    capture: CaptureStore,
+    fleet_size: int,
+) -> None:
+    publish_fleet_metrics(metrics, fleet)
+    publish_server_metrics(metrics, server_sets)
+    capture.publish_metrics(metrics, window_seconds=metrics.phase_seconds("resolve"))
+    metrics.gauge("sim.fleet_size").set(fleet_size)
+
+
+# -- the resolve loop ------------------------------------------------------------
+
+def run_member_range(
+    env: SimEnvironment,
+    total_queries: int,
+    metrics: MetricsRegistry,
+    start: int = 0,
+    stop: Optional[int] = None,
+) -> int:
+    """Drive client query streams through fleet members ``[start, stop)``.
+
+    Per-member query counts derive from the *full* fleet's weights and
+    per-member streams are seeded by global fleet index, so any partition
+    of the fleet into ranges produces exactly the union of the serial
+    run's per-member traffic.
+    """
+    descriptor = env.descriptor
+    stop = len(env.fleet) if stop is None else stop
+    domains = domains_of(env.vantage_zone) if env.vantage_zone is not None else []
     generator = WorkloadGenerator(
         vantage=descriptor.vantage,
         domains=domains,
         tld_names=list(DEFAULT_TLDS),
-        seed=seed,
+        seed=env.seed,
     )
     pattern = DiurnalPattern(descriptor.start, descriptor.duration)
-    total_queries = descriptor.client_queries if client_queries is None else client_queries
-    total_weight = sum(m.weight for m in fleet)
+    total_weight = sum(m.weight for m in env.fleet)
     if total_weight <= 0:
         raise ValueError("fleet has no traffic weight")
 
-    logger.info(
-        "run %s: %d client queries over %d resolvers",
-        descriptor.dataset_id, total_queries, len(fleet),
-    )
     run_count = 0
+    interval = progress_interval_s()
     loop_started = time.perf_counter()
     last_progress = loop_started
-    for index, member in enumerate(fleet):
+    for index in range(start, stop):
+        member = env.fleet[index]
         count = int(round(total_queries * member.weight / total_weight))
         if count <= 0:
             continue
         storm_fraction = 0.0
-        if storm_domains and member.provider == "Google":
+        if env.storm_domains and member.provider == "Google":
             storm_fraction = 0.25
         stream = generator.generate(
             resolver_index=index,
             count=count,
             pattern=pattern,
             junk_fraction=member.junk_fraction,
-            storm_domains=storm_domains,
+            storm_domains=env.storm_domains,
             storm_fraction=storm_fraction,
         )
         provider_counter = metrics.counter(
             "sim.client_queries", provider=member.provider
         )
         resolve = member.resolver.resolve
+        network = env.network
         while True:
             # Workload generation and the resolve loop alternate in bounded
             # chunks so both phases are timed separately without holding a
@@ -300,22 +386,171 @@ def run_dataset(
             run_count += len(chunk)
             provider_counter.inc(len(chunk))
             now = time.perf_counter()
-            if now - last_progress >= _PROGRESS_INTERVAL_S:
+            if now - last_progress >= interval:
                 rate = run_count / max(now - loop_started, 1e-9)
                 logger.info(
                     "progress: %d/%d client queries (%.0f q/s, %d captured rows,"
                     " at %s fleet member %d/%d)",
-                    run_count, total_queries, rate, len(capture),
-                    member.provider, index + 1, len(fleet),
+                    run_count, total_queries, rate, len(env.capture),
+                    member.provider, index + 1, len(env.fleet),
                 )
                 last_progress = now
+    return run_count
 
-    _publish_run_metrics(metrics, fleet, server_sets, capture)
+
+def simulate_shard(task: ShardTask) -> ShardResult:
+    """Build the world and resolve one shard's member range.
+
+    Runs inside pool workers (via
+    :func:`repro.runtime.execute_shard_task`) and in the parent for serial
+    fallbacks.  Returns only picklable payloads: raw capture rows and a
+    telemetry snapshot.
+    """
+    started = time.perf_counter()
+    descriptor = task.descriptor
+    metrics = MetricsRegistry()
+    env = build_environment(descriptor, task.seed, metrics)
+    stop = len(env.fleet) if task.stop is None else task.stop
+    total_queries = (
+        descriptor.client_queries
+        if task.client_queries is None
+        else task.client_queries
+    )
+    queries_run = run_member_range(env, total_queries, metrics, task.start, stop)
+    _publish_run_metrics(
+        metrics, env.fleet[task.start:stop], env.server_sets, env.capture,
+        fleet_size=len(env.fleet),
+    )
+    return ShardResult(
+        shard_index=task.shard_index,
+        rows=env.capture.raw_rows(),
+        rows_appended=env.capture.rows_appended,
+        queries_run=queries_run,
+        telemetry=metrics.snapshot(),
+        duration_s=time.perf_counter() - started,
+    )
+
+
+# -- the entry point -------------------------------------------------------------
+
+def run_dataset(
+    descriptor: DatasetDescriptor,
+    seed: int = 20201027,
+    client_queries: Optional[int] = None,
+    telemetry: Optional[MetricsRegistry] = None,
+    workers: Optional[int] = None,
+    shard_count: Optional[int] = None,
+    runtime: Optional[RuntimeConfig] = None,
+) -> DatasetRun:
+    """Simulate one dataset and return its capture.
+
+    ``client_queries`` overrides the descriptor's volume (tests use small
+    values; benchmarks use the descriptor default).
+
+    ``workers`` selects the execution backend: ``<=1`` (default, or via the
+    ``REPRO_WORKERS`` env var) runs shards sequentially in-process — the
+    returned fleet/server objects then carry their post-run state exactly
+    as the original serial driver left it; ``>1`` executes shards on a
+    process pool and merges the results, bit-identical to the serial path
+    but with parent-side fleet/server objects left cold (their counters
+    live in the merged telemetry instead).  ``shard_count`` defaults to the
+    worker count; ``runtime`` passes a full
+    :class:`~repro.runtime.RuntimeConfig` (timeouts, retries, fault
+    injection) and overrides both.
+
+    ``telemetry`` optionally names a session-level registry (e.g. an
+    :class:`~repro.experiments.context.ExperimentContext`'s) into which
+    this run's metrics are merged; the run itself always instruments a
+    fresh registry whose snapshot lands on ``DatasetRun.telemetry``.
+    """
+    config = resolve_runtime_config(workers, shard_count, runtime)
+    metrics = MetricsRegistry()
+    env = build_environment(descriptor, seed, metrics)
+    total_queries = (
+        descriptor.client_queries if client_queries is None else client_queries
+    )
+
+    with metrics.time_phase("runtime.plan"):
+        plan = plan_shards(
+            [member.weight for member in env.fleet], config.effective_shards(), seed
+        )
+    metrics.counter("runtime.shards_total").inc(len(plan))
+    metrics.gauge("runtime.workers").set(config.workers)
+
+    logger.info(
+        "run %s: %d client queries over %d resolvers (%d shards, %d workers)",
+        descriptor.dataset_id, total_queries, len(env.fleet),
+        len(plan), config.workers,
+    )
+
+    use_pool = config.workers > 1 and len(plan) > 1 and total_queries > 0
+    if use_pool:
+        tasks = [
+            ShardTask(
+                descriptor=descriptor,
+                seed=seed,
+                client_queries=total_queries,
+                shard_index=shard.index,
+                shard_seed=shard.seed,
+                start=shard.start,
+                stop=shard.stop,
+            )
+            for shard in plan
+        ]
+        executor = ShardExecutor(config, metrics)
+        with metrics.time_phase("runtime.execute"):
+            executor.submit(tasks)
+            results, runtime_report = executor.collect()
+        with metrics.time_phase("runtime.merge"):
+            capture = CaptureStore.merge([
+                CaptureStore.from_raw_rows(r.rows, r.rows_appended)
+                for r in results
+            ])
+            for result in results:
+                metrics.merge_snapshot(result.telemetry)
+            resolve_s = metrics.phase_seconds("resolve")
+            if resolve_s > 0:
+                # Re-derive the throughput gauge from merged totals (the
+                # per-worker last-write value is meaningless here).
+                metrics.gauge("capture.append_rows_per_s").set(
+                    capture.rows_appended / resolve_s
+                )
+        queries_run = sum(result.queries_run for result in results)
+    else:
+        runtime_report = RuntimeReport(
+            mode="serial", workers=1, shard_count=len(plan)
+        )
+        queries_run = 0
+        with metrics.time_phase("runtime.execute"):
+            for shard in plan:
+                shard_started = time.perf_counter()
+                shard_queries = run_member_range(
+                    env, total_queries, metrics, shard.start, shard.stop
+                )
+                shard_elapsed = time.perf_counter() - shard_started
+                metrics.observe_phase(f"runtime.shard.{shard.index}", shard_elapsed)
+                metrics.counter(
+                    "runtime.shard_queries", shard=shard.index
+                ).inc(shard_queries)
+                runtime_report.outcomes.append(ShardOutcome(
+                    index=shard.index, start=shard.start, stop=shard.stop,
+                    queries_run=shard_queries, duration_s=shard_elapsed,
+                    attempts=1,
+                ))
+                queries_run += shard_queries
+        _publish_run_metrics(
+            metrics, env.fleet, env.server_sets, env.capture,
+            fleet_size=len(env.fleet),
+        )
+        with metrics.time_phase("runtime.merge"):
+            env.capture.sort_canonical()
+        capture = env.capture
+
     snapshot = metrics.snapshot()
     logger.info(
-        "run %s done: %d client queries, %d captured rows, %.2fs resolve time",
-        descriptor.dataset_id, run_count, len(capture),
-        snapshot.phase_seconds("resolve"),
+        "run %s done (%s): %d client queries, %d captured rows, %.2fs resolve time",
+        descriptor.dataset_id, runtime_report.summary(), queries_run,
+        len(capture), snapshot.phase_seconds("resolve"),
     )
     if telemetry is not None:
         telemetry.merge_snapshot(snapshot)
@@ -323,12 +558,13 @@ def run_dataset(
     return DatasetRun(
         descriptor=descriptor,
         capture=capture,
-        registry=registry,
-        fleet=fleet,
-        ptr_table=ptr_table,
-        network=network,
-        vantage_zone=vantage_zone,
-        server_sets=server_sets,
-        client_queries_run=run_count,
+        registry=env.registry,
+        fleet=env.fleet,
+        ptr_table=env.ptr_table,
+        network=env.network,
+        vantage_zone=env.vantage_zone,
+        server_sets=env.server_sets,
+        client_queries_run=queries_run,
         telemetry=snapshot,
+        runtime_report=runtime_report,
     )

@@ -320,12 +320,18 @@ class MetricsRegistry:
             yield
         finally:
             elapsed = time.perf_counter() - start
-            stat = self._phases.get(name)
-            if stat is None:
-                stat = self._phases[name] = PhaseStat()
-            stat.add(elapsed)
+            stat = self.observe_phase(name, elapsed)
             logger.debug("phase %s: span %.4fs (total %.4fs over %d spans)",
                          name, elapsed, stat.total_s, stat.count)
+
+    def observe_phase(self, name: str, seconds: float) -> PhaseStat:
+        """Record one externally-timed span (e.g. a worker-measured shard
+        duration shipped across a process boundary)."""
+        stat = self._phases.get(name)
+        if stat is None:
+            stat = self._phases[name] = PhaseStat()
+        stat.add(seconds)
+        return stat
 
     def phase_seconds(self, name: str) -> float:
         stat = self._phases.get(name)

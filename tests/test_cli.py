@@ -55,6 +55,43 @@ class TestCLI:
         assert provider_sum > 0
         assert data["counters"]["capture.rows_appended"] > 0
 
+    def test_dataset_workers_flag_shards_the_run(self, capsys, tmp_path):
+        import json
+
+        path = tmp_path / "telemetry.json"
+        assert main(
+            ["dataset", "nz-w2018", "--scale", "0.01", "--workers", "2",
+             "--telemetry-out", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "runtime: process-pool: 2 shards on 2 workers" in captured.err
+        data = json.loads(path.read_text())
+        assert data["counters"]["runtime.shards_total"] == 2
+        assert "runtime.shard.0" in data["phases"]
+        assert "runtime.shard.1" in data["phases"]
+        assert data["gauges"]["runtime.workers"] == 2.0
+
+    def test_dataset_workers_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_WORKERS", "2")
+        assert main(["dataset", "nz-w2018", "--scale", "0.01"]) == 0
+        captured = capsys.readouterr()
+        assert "runtime: process-pool: 2 shards on 2 workers" in captured.err
+
+    def test_experiments_workers_plumbed(self, capsys, monkeypatch):
+        from repro.experiments import render_all
+
+        seen = {}
+
+        def fake_run_and_render(scale=None, dataset_filter=None,
+                                seed=20201027, ctx=None):
+            seen["ctx"] = ctx
+            return "# stub report"
+
+        monkeypatch.setattr(render_all, "run_and_render", fake_run_and_render)
+        assert main(["experiments", "--scale", "0.05", "--workers", "3"]) == 0
+        capsys.readouterr()
+        assert seen["ctx"].workers == 3
+
     def test_dataset_scale_honors_repro_scale_env(self, capsys, monkeypatch):
         monkeypatch.setenv("REPRO_SCALE", "0.01")
         assert main(["dataset", "nz-w2018"]) == 0

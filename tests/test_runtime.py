@@ -1,0 +1,266 @@
+"""Tests for the sharded parallel execution engine (``repro.runtime``).
+
+The headline property under test is ISSUE 2's determinism guarantee:
+``run_dataset(..., workers=N)`` must produce a capture and reports
+bit-identical to the serial path for any ``N`` — including when shards
+crash or hang and the runtime recovers via retry / serial fallback.
+"""
+
+import numpy as np
+import pytest
+
+from repro.capture import CaptureStore
+from repro.capture.schema import QueryRecord, Transport
+from repro.netsim import IPAddress
+from repro.runtime import (
+    RuntimeConfig,
+    derive_shard_seed,
+    plan_shards,
+)
+from repro.sim import run_dataset
+from repro.workload import dataset
+
+DATASET = "nz-w2018"
+QUERIES = 600
+
+
+def assert_views_equal(a, b):
+    """Column-for-column equality of two capture views."""
+    assert len(a) == len(b)
+    for name in a.__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        equal_nan = name == "tcp_rtt_ms"
+        assert np.array_equal(x, y, equal_nan=equal_nan), f"column {name} differs"
+
+
+def sim_counters(snapshot):
+    """The simulation-facing counters (excludes runtime.* bookkeeping,
+    which legitimately differs between serial and pooled execution)."""
+    return {
+        key: value for key, value in snapshot.counters.items()
+        if not key.startswith("runtime.")
+    }
+
+
+@pytest.fixture(scope="module")
+def serial_run():
+    return run_dataset(dataset(DATASET), client_queries=QUERIES)
+
+
+class TestPlanner:
+    def test_shards_are_contiguous_and_cover_fleet(self):
+        plan = plan_shards([1.0] * 10, 3, seed=1)
+        assert len(plan) == 3
+        assert plan.shards[0].start == 0
+        assert plan.shards[-1].stop == 10
+        for prev, nxt in zip(plan.shards, plan.shards[1:]):
+            assert prev.stop == nxt.start
+        assert all(shard.stop > shard.start for shard in plan)
+
+    def test_shards_balance_by_weight(self):
+        # One heavy member up front: it should get a shard to itself.
+        weights = [100.0] + [1.0] * 99
+        plan = plan_shards(weights, 2, seed=1)
+        assert plan.shards[0].stop == 1
+        assert plan.shards[1].start == 1 and plan.shards[1].stop == 100
+
+    def test_shard_count_clamped_to_members(self):
+        plan = plan_shards([1.0, 2.0], 8, seed=1)
+        assert len(plan) == 2
+
+    def test_zero_weights_split_evenly(self):
+        plan = plan_shards([0.0] * 9, 3, seed=1)
+        assert [s.members for s in plan] == [3, 3, 3]
+
+    def test_seeds_derived_and_distinct(self):
+        plan = plan_shards([1.0] * 6, 3, seed=42)
+        seeds = [shard.seed for shard in plan]
+        assert len(set(seeds)) == 3
+        assert seeds == [derive_shard_seed(42, i) for i in range(3)]
+        # Stable across invocations.
+        again = plan_shards([1.0] * 6, 3, seed=42)
+        assert [s.seed for s in again] == seeds
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            plan_shards([], 2, seed=1)
+        with pytest.raises(ValueError):
+            plan_shards([1.0], 0, seed=1)
+
+
+def _record(ts, server, qname="a.nz"):
+    return QueryRecord(
+        timestamp=ts, server_id=server,
+        src=IPAddress(4, 0x08080808), transport=Transport.UDP,
+        qname=qname, qtype=1, rcode=0, edns_bufsize=4096,
+        do_bit=False, response_size=100, truncated=False, tcp_rtt_ms=None,
+    )
+
+
+class TestCaptureStoreRuntimeSupport:
+    def test_extend_bulk_appends(self):
+        store = CaptureStore()
+        store.extend([_record(1.0, "a"), _record(2.0, "b")])
+        assert len(store) == 2
+        assert store.rows_appended == 2
+        view = store.view()
+        store.extend([])
+        assert store.view() is view  # empty extend keeps the frozen view
+
+    def test_raw_rows_round_trip(self):
+        store = CaptureStore()
+        store.extend([_record(1.0, "a"), _record(2.0, "b")])
+        rebuilt = CaptureStore.from_raw_rows(store.raw_rows(), store.rows_appended)
+        assert rebuilt.rows_appended == 2
+        assert_views_equal(store.view(), rebuilt.view())
+
+    def test_sort_canonical_is_stable(self):
+        store = CaptureStore()
+        # Two ties on (timestamp, server): qname disambiguates append order.
+        store.extend([
+            _record(2.0, "b", "late.nz"),
+            _record(1.0, "a", "first.nz"),
+            _record(1.0, "a", "second.nz"),
+        ])
+        store.sort_canonical()
+        view = store.view()
+        assert list(view.qname) == ["first.nz", "second.nz", "late.nz"]
+
+    def test_merge_equals_concat_then_sort(self):
+        left, right, reference = CaptureStore(), CaptureStore(), CaptureStore()
+        a, b, c = _record(3.0, "a"), _record(1.0, "b"), _record(2.0, "a")
+        left.extend([a, b])
+        right.extend([c])
+        reference.extend([a, b, c])
+        reference.sort_canonical()
+        merged = CaptureStore.merge([left, right])
+        assert merged.rows_appended == 3
+        assert_views_equal(merged.view(), reference.view())
+
+
+class TestSerialSharding:
+    def test_shard_count_does_not_change_results(self, serial_run):
+        sharded = run_dataset(
+            dataset(DATASET), client_queries=QUERIES, workers=1, shard_count=3
+        )
+        assert sharded.runtime_report.mode == "serial"
+        assert sharded.runtime_report.shard_count == 3
+        assert_views_equal(serial_run.capture.view(), sharded.capture.view())
+        assert sim_counters(serial_run.telemetry) == sim_counters(sharded.telemetry)
+
+    def test_zero_queries_stays_serial_even_with_workers(self):
+        run = run_dataset(dataset(DATASET), client_queries=0, workers=4)
+        assert run.runtime_report.mode == "serial"
+        assert len(run.capture) == 0
+        # The built world is still fully usable (the outage extension
+        # relies on this to replay traffic against run.network).
+        assert run.fleet and run.server_sets
+
+
+class TestPoolDeterminism:
+    def test_pool_capture_identical_to_serial(self, serial_run):
+        pooled = run_dataset(dataset(DATASET), client_queries=QUERIES, workers=3)
+        report = pooled.runtime_report
+        assert report.mode == "process-pool"
+        assert report.shard_count == 3
+        assert report.failures == 0
+        assert_views_equal(serial_run.capture.view(), pooled.capture.view())
+        assert sim_counters(serial_run.telemetry) == sim_counters(pooled.telemetry)
+        assert pooled.client_queries_run == serial_run.client_queries_run
+
+    def test_pool_runtime_telemetry(self, serial_run):
+        pooled = run_dataset(dataset(DATASET), client_queries=QUERIES, workers=2)
+        snap = pooled.telemetry
+        assert snap.counters["runtime.shards_total"] == 2
+        assert "runtime.shard.0" in snap.phases
+        assert "runtime.shard.1" in snap.phases
+        assert snap.gauges["runtime.workers"] == 2.0
+        assert 0.0 < snap.gauges["runtime.worker_utilization"] <= 1.0
+        shard_queries = sum(
+            value for key, value in snap.counters.items()
+            if key.startswith("runtime.shard_queries{")
+        )
+        assert shard_queries == pooled.client_queries_run
+
+
+class TestFaultRecovery:
+    def test_crashed_shard_falls_back_serially(self, serial_run):
+        config = RuntimeConfig(workers=2, inject_faults={0: "crash"})
+        run = run_dataset(dataset(DATASET), client_queries=QUERIES, runtime=config)
+        report = run.runtime_report
+        assert report.failures == 0
+        assert report.retries == 1       # retried once on the pool (crashed again)
+        assert report.fallbacks == 1     # then recovered in-process
+        assert report.outcomes[0].fallback
+        assert run.telemetry.counters["runtime.shard_fallbacks"] == 1
+        assert run.telemetry.counters["runtime.shard_retries"] == 1
+        assert_views_equal(serial_run.capture.view(), run.capture.view())
+
+    def test_hung_shard_times_out_and_falls_back(self, serial_run):
+        config = RuntimeConfig(
+            workers=2, shard_timeout_s=1.5, retries=0,
+            inject_faults={0: "hang"},
+        )
+        run = run_dataset(dataset(DATASET), client_queries=QUERIES, runtime=config)
+        report = run.runtime_report
+        assert report.failures == 0
+        assert report.fallbacks >= 1
+        assert run.telemetry.counters["runtime.shard_fallbacks"] >= 1
+        assert_views_equal(serial_run.capture.view(), run.capture.view())
+
+
+class TestExperimentParity:
+    def test_prefetched_reports_match_serial(self):
+        from repro.experiments import figure1, table5
+        from repro.experiments.context import ExperimentContext
+
+        nz_datasets = ["nz-w2018", "nz-w2019", "nz-w2020"]
+        serial_ctx = ExperimentContext(scale=0.01, workers=1)
+        pool_ctx = ExperimentContext(scale=0.01, workers=2)
+        pool_ctx.prefetch(nz_datasets)
+        for dataset_id in nz_datasets:
+            assert dataset_id in pool_ctx._runs
+            assert_views_equal(
+                serial_ctx.run(dataset_id).capture.view(),
+                pool_ctx.run(dataset_id).capture.view(),
+            )
+        assert (
+            figure1.run_vantage(serial_ctx, "nz").to_text()
+            == figure1.run_vantage(pool_ctx, "nz").to_text()
+        )
+        assert (
+            table5.run_vantage_year(serial_ctx, "nz", 2018).to_text()
+            == table5.run_vantage_year(pool_ctx, "nz", 2018).to_text()
+        )
+
+    def test_prefetch_serial_context_just_runs(self):
+        from repro.experiments.context import ExperimentContext
+
+        ctx = ExperimentContext(scale=0.01, workers=1)
+        ctx.prefetch(["nz-w2018"])
+        assert "nz-w2018" in ctx._runs
+        assert ctx._runs["nz-w2018"].runtime_report.mode == "serial"
+
+
+class TestEnvDefaults:
+    def test_workers_env_default(self, monkeypatch):
+        from repro.runtime import configured_workers
+
+        monkeypatch.delenv("REPRO_WORKERS", raising=False)
+        assert configured_workers() == 1
+        monkeypatch.setenv("REPRO_WORKERS", "3")
+        assert configured_workers() == 3
+        monkeypatch.setenv("REPRO_WORKERS", "0")
+        with pytest.raises(ValueError):
+            configured_workers()
+
+    def test_progress_interval_env(self, monkeypatch):
+        from repro.sim.driver import progress_interval_s
+
+        monkeypatch.delenv("REPRO_PROGRESS_INTERVAL", raising=False)
+        assert progress_interval_s() == 5.0
+        monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "30")
+        assert progress_interval_s() == 30.0
+        monkeypatch.setenv("REPRO_PROGRESS_INTERVAL", "-1")
+        with pytest.raises(ValueError):
+            progress_interval_s()
