@@ -14,12 +14,56 @@ Observability flags (see README "Observability"): ``-v/-vv`` turn on
 progress/debug logging, ``--telemetry-out PATH`` exports the run's
 telemetry snapshot as JSON, and every simulating command prints a
 phase/counter summary on stderr.
+
+Chaos flags (see README "Chaos scenarios"): ``--chaos <scenario>`` runs
+the simulation under a named fault schedule (``--chaos-seed`` varies the
+fault placement independently of ``--seed``; the ``REPRO_CHAOS`` env var
+sets the default scenario).  ``repro dataset`` exits non-zero when any
+shard failed outright unless ``--allow-partial`` is given.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+
+#: Environment variable naming the default chaos scenario (CLI commands
+#: only — library callers pass FaultPlan explicitly).
+CHAOS_ENV = "REPRO_CHAOS"
+
+#: Exit code for a run with failed shards (without ``--allow-partial``).
+EXIT_PARTIAL = 3
+
+
+def _resolve_chaos(args):
+    """The FaultPlan selected by ``--chaos``/``REPRO_CHAOS``, or None."""
+    name = getattr(args, "chaos", None) or os.environ.get(CHAOS_ENV)
+    if not name:
+        return None
+    from .faults import chaos_scenario
+
+    plan = chaos_scenario(name, seed=getattr(args, "chaos_seed", None))
+    print(f"chaos scenario {name!r} active", file=sys.stderr)
+    return plan
+
+
+def _check_partial(report, allow_partial: bool) -> int:
+    """Exit code for a run report: 0, or EXIT_PARTIAL on shard failures."""
+    if report is None or not report.failures:
+        return 0
+    failed = ", ".join(
+        f"#{outcome.index} ({outcome.error})" for outcome in report.failed_shards
+    )
+    print(
+        f"ERROR: {report.failures} shard(s) failed — capture is incomplete: "
+        f"{failed}",
+        file=sys.stderr,
+    )
+    if allow_partial:
+        print("continuing anyway (--allow-partial)", file=sys.stderr)
+        return 0
+    return EXIT_PARTIAL
 
 
 def _print_telemetry(snapshot, telemetry_out, title: str) -> None:
@@ -44,7 +88,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    from .faults import CHAOS_SCENARIOS
+
+    for name in sorted(CHAOS_SCENARIOS):
+        plan = CHAOS_SCENARIOS[name]
+        parts = []
+        if plan.packet_loss:
+            parts.append(f"loss={plan.packet_loss:.0%}")
+        if plan.outages:
+            parts.append(f"outages={len(plan.outages)}")
+        if plan.blackouts:
+            parts.append(f"blackouts={len(plan.blackouts)}")
+        if plan.latency:
+            parts.append(f"latency={len(plan.latency)}")
+        if plan.storms:
+            parts.append(f"storms={len(plan.storms)}")
+        print(f"{name:<16} {' '.join(parts)}")
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
+    from dataclasses import replace
+
     from .analysis import Attributor, cloud_share, dataset_summary, provider_shares
     from .clouds import PROVIDERS
     from .experiments import configured_scale
@@ -52,6 +118,9 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     from .workload import dataset
 
     descriptor = dataset(args.dataset_id)
+    chaos_plan = _resolve_chaos(args)
+    if chaos_plan is not None:
+        descriptor = replace(descriptor, fault_plan=chaos_plan)
     scale = configured_scale(0.2) if args.scale is None else args.scale
     volume = int(descriptor.client_queries * scale)
     print(f"simulating {args.dataset_id} ({volume} client queries)...", file=sys.stderr)
@@ -60,6 +129,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     )
     if run.runtime_report is not None:
         print(f"runtime: {run.runtime_report.summary()}", file=sys.stderr)
+    partial_exit = _check_partial(run.runtime_report, args.allow_partial)
     view = run.capture.view()
     attribution = Attributor(run.registry, PROVIDERS).attribute(view)
     summary = dataset_summary(view, attribution)
@@ -74,6 +144,11 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     print(f"  drops          : {telemetry.total('resolver.drops')}")
     print(f"  tcp retries    : {telemetry.total('resolver.tcp_retries')}")
     print(f"  servfails      : {telemetry.total('resolver.servfails')}")
+    if chaos_plan is not None:
+        print(f"  fault drops    : {telemetry.total('faults.dropped')}")
+        print(f"  retransmits    : {telemetry.total('resolver.retry.retransmits')}")
+        print(f"  failovers      : {telemetry.total('resolver.retry.failovers')}")
+        print(f"  stale served   : {telemetry.total('resolver.retry.stale_served')}")
     shares = provider_shares(view, attribution, PROVIDERS)
     for provider, share in shares.items():
         print(f"{provider:<11}      : {share:.3f}")
@@ -84,14 +159,17 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         count = write_csv(run.capture, args.out)
         print(f"wrote {count} rows to {args.out}", file=sys.stderr)
     _print_telemetry(telemetry, args.telemetry_out, title=args.dataset_id)
-    return 0
+    return partial_exit
 
 
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import ExperimentContext
     from .experiments.render_all import run_and_render
 
-    ctx = ExperimentContext(scale=args.scale, seed=args.seed, workers=args.workers)
+    ctx = ExperimentContext(
+        scale=args.scale, seed=args.seed, workers=args.workers,
+        fault_plan=_resolve_chaos(args),
+    )
     content = run_and_render(ctx=ctx)
     if args.write:
         with open(args.write, "w") as handle:
@@ -128,6 +206,15 @@ def main(argv=None) -> int:
     p_dataset.add_argument("--workers", type=int, default=None,
                            help="worker processes for sharded execution"
                                 " (default: REPRO_WORKERS or 1 = serial)")
+    p_dataset.add_argument("--chaos", metavar="SCENARIO", default=None,
+                           help="run under a named fault schedule (see"
+                                " 'repro chaos'; default: REPRO_CHAOS env)")
+    p_dataset.add_argument("--chaos-seed", type=int, default=None,
+                           help="fault-placement seed (default: derived"
+                                " from --seed)")
+    p_dataset.add_argument("--allow-partial", action="store_true",
+                           help="exit 0 even when shards failed and the"
+                                " capture is incomplete")
     p_dataset.set_defaults(func=_cmd_dataset)
 
     p_exp = sub.add_parser("experiments", help="run all paper experiments")
@@ -142,7 +229,16 @@ def main(argv=None) -> int:
     p_exp.add_argument("--workers", type=int, default=None,
                        help="worker processes; datasets are simulated"
                             " concurrently (default: REPRO_WORKERS or 1)")
+    p_exp.add_argument("--chaos", metavar="SCENARIO", default=None,
+                       help="run every dataset under a named fault schedule"
+                            " (default: REPRO_CHAOS env)")
+    p_exp.add_argument("--chaos-seed", type=int, default=None,
+                       help="fault-placement seed (default: derived from"
+                            " --seed)")
     p_exp.set_defaults(func=_cmd_experiments)
+
+    p_chaos = sub.add_parser("chaos", help="list chaos scenarios")
+    p_chaos.set_defaults(func=_cmd_chaos)
 
     args = parser.parse_args(argv)
     if args.verbose:

@@ -170,6 +170,14 @@ class Message:
                 edns=self.edns,
             )
             wire = truncated._encode()
+            if len(wire) > max_size and truncated.edns is not None:
+                truncated.edns = None
+                wire = truncated._encode()
+            if len(wire) > max_size:
+                # Pathological limit (below header + question): emit a
+                # header-only TC response rather than overflow the bound.
+                truncated.questions = []
+                wire = truncated._encode()
         return wire
 
     def wire_size(self) -> int:

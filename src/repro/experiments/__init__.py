@@ -3,6 +3,7 @@
 from . import (
     extension_concentration,
     extension_outage,
+    extension_resilience,
     extension_rssac,
     figure1,
     figure2,
@@ -26,6 +27,7 @@ __all__ = [
     "configured_scale",
     "extension_concentration",
     "extension_outage",
+    "extension_resilience",
     "extension_rssac",
     "figure1",
     "figure2",

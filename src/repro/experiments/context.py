@@ -59,11 +59,15 @@ class ExperimentContext:
         seed: int = 20201027,
         telemetry: Optional[MetricsRegistry] = None,
         workers: Optional[int] = None,
+        fault_plan=None,
     ):
         self.scale = configured_scale() if scale is None else scale
         self.seed = seed
         self.workers = configured_workers() if workers is None else int(workers)
         self.telemetry = MetricsRegistry() if telemetry is None else telemetry
+        #: Optional :class:`~repro.faults.FaultPlan` applied to *every*
+        #: dataset this context simulates (the CLI's ``--chaos`` flag).
+        self.fault_plan = fault_plan
         self._runs: Dict[str, DatasetRun] = {}
         self._attributions: Dict[str, AttributionResult] = {}
 
@@ -72,11 +76,19 @@ class ExperimentContext:
     def _volume(self, descriptor) -> int:
         return max(500, int(descriptor.client_queries * self.scale))
 
+    def _descriptor(self, descriptor):
+        """Attach the context's fault plan (if any) to a descriptor."""
+        if self.fault_plan is None:
+            return descriptor
+        from dataclasses import replace
+
+        return replace(descriptor, fault_plan=self.fault_plan)
+
     def run(self, dataset_id: str) -> DatasetRun:
         """The (cached) simulation of one paper dataset."""
         cached = self._runs.get(dataset_id)
         if cached is None:
-            descriptor = dataset(dataset_id)
+            descriptor = self._descriptor(dataset(dataset_id))
             cached = run_dataset(
                 descriptor, seed=self.seed,
                 client_queries=self._volume(descriptor),
@@ -87,7 +99,7 @@ class ExperimentContext:
 
     def monthly(self, vantage: str, year: int, month: int) -> DatasetRun:
         """The (cached) Google-only monthly run for Figure 3."""
-        descriptor = monthly_google_descriptor(vantage, year, month)
+        descriptor = self._descriptor(monthly_google_descriptor(vantage, year, month))
         cached = self._runs.get(descriptor.dataset_id)
         if cached is None:
             cached = run_dataset(
@@ -130,7 +142,7 @@ class ExperimentContext:
         batch_metrics = MetricsRegistry()
         tasks = []
         for index, dataset_id in enumerate(pending):
-            descriptor = dataset(dataset_id)
+            descriptor = self._descriptor(dataset(dataset_id))
             tasks.append(ShardTask(
                 descriptor=descriptor,
                 seed=self.seed,

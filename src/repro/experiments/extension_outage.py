@@ -16,11 +16,13 @@ by one — and measures what the paper's framing predicts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Dict, List
 
 from ..dnscore import RCode, RRType
-from ..sim import run_dataset
+from ..faults import FaultPlan, OutageWindow
+from ..sim.driver import build_environment
+from ..telemetry import MetricsRegistry
 from ..workload import DiurnalPattern, WorkloadGenerator, dataset
 from ..zones import domains_of
 from .context import ExperimentContext
@@ -39,17 +41,28 @@ class OutageOutcome:
 
 
 def _run_scenario(offline: int, client_queries: int, seed: int) -> OutageOutcome:
-    """Simulate nl-w2020 with ``offline`` of the NS set forced down."""
-    descriptor = dataset("nl-w2020")
-    run = run_dataset(descriptor, seed=seed, client_queries=0)  # build world only
-    servers = run.server_sets["nl"].servers
-    for server in servers[:offline]:
-        server.online = False
+    """Simulate nl-w2020 with ``offline`` of the NS set forced down.
 
-    domains = domains_of(run.vantage_zone)
+    The outage is expressed as a :class:`FaultPlan` — one full-window
+    :class:`OutageWindow` per dark server — and built through the shared
+    :func:`build_environment` path, so this experiment exercises exactly
+    the fault layer every chaos scenario uses.
+    """
+    base = dataset("nl-w2020")
+    plan = FaultPlan(
+        name=f"outage-{offline}",
+        outages=tuple(
+            OutageWindow(spec.server_id, 0.0, 1.0)
+            for spec in base.servers[:offline]
+        ),
+    )
+    descriptor = replace(base, fault_plan=plan) if offline else base
+    env = build_environment(descriptor, seed, MetricsRegistry())
+
+    domains = domains_of(env.vantage_zone)
     generator = WorkloadGenerator("nl", domains, seed=seed)
     pattern = DiurnalPattern(descriptor.start, descriptor.duration)
-    fleet = [m for m in run.fleet if m.provider == "Google"][:40]
+    fleet = [m for m in env.fleet if m.provider == "Google"][:40]
 
     servfails = 0
     total = 0
@@ -58,7 +71,7 @@ def _run_scenario(offline: int, client_queries: int, seed: int) -> OutageOutcome
     for index, member in enumerate(fleet):
         for query in generator.generate(index, per_member, pattern, junk_fraction=0.05):
             rcode = member.resolver.resolve(
-                run.network, query.timestamp, query.qname, query.qtype
+                env.network, query.timestamp, query.qname, query.qtype
             )
             total += 1
             if rcode is RCode.SERVFAIL:
@@ -69,7 +82,7 @@ def _run_scenario(offline: int, client_queries: int, seed: int) -> OutageOutcome
         client_queries=total,
         servfail_ratio=servfails / total if total else 0.0,
         auth_queries_per_client=(auth_after - auth_before) / max(total, 1),
-        captured_queries=len(run.capture),
+        captured_queries=len(env.capture),
     )
 
 

@@ -48,6 +48,7 @@ class CacheStats:
     misses: int = 0
     negative_hits: int = 0
     nsec_synthesised: int = 0
+    stale_hits: int = 0      #: RFC 8767 serve-stale lookups that hit
 
     @property
     def hit_ratio(self) -> float:
@@ -66,6 +67,11 @@ class ResolverCache:
         TTL for negative entries (clamped by the zone SOA minimum upstream).
     aggressive_nsec:
         Enable RFC 8198 synthesis from cached NSEC ranges.
+    serve_stale_window:
+        RFC 8767 retention: expired positive entries remain usable via
+        :meth:`get_stale` for this many seconds past their TTL (and are
+        only evicted once the window has also passed).  ``0`` (default)
+        disables retention — expired entries are evicted on sight.
     """
 
     def __init__(
@@ -73,10 +79,14 @@ class ResolverCache:
         max_ttl: float = 86400.0,
         negative_ttl: float = 900.0,
         aggressive_nsec: bool = False,
+        serve_stale_window: float = 0.0,
     ):
+        if serve_stale_window < 0:
+            raise ValueError("serve_stale_window must be >= 0")
         self.max_ttl = max_ttl
         self.negative_ttl = negative_ttl
         self.aggressive_nsec = aggressive_nsec
+        self.serve_stale_window = serve_stale_window
         self.stats = CacheStats()
         self._positive: Dict[Tuple[Name, RRType], CacheEntry] = {}
         self._negative: Dict[Name, NegativeEntry] = {}
@@ -98,8 +108,24 @@ class ResolverCache:
         if entry is not None and entry.expires_at > now:
             self.stats.hits += 1
             return entry.records
-        if entry is not None:
+        if entry is not None and now >= entry.expires_at + self.serve_stale_window:
+            # Past TTL *and* past the stale window (window 0 = on expiry).
             del self._positive[(qname, qtype)]
+        return None
+
+    def get_stale(self, now: float, qname: Name, qtype: RRType) -> Optional[List[ResourceRecord]]:
+        """RFC 8767 lookup: an *expired* positive entry still inside the
+        stale window.  Returns None when the entry is fresh (use :meth:`get`),
+        absent, or staler than the window allows."""
+        if self.serve_stale_window <= 0:
+            return None
+        entry = self._positive.get((qname, qtype))
+        if (
+            entry is not None
+            and entry.expires_at <= now < entry.expires_at + self.serve_stale_window
+        ):
+            self.stats.stale_hits += 1
+            return entry.records
         return None
 
     # -- negative ----------------------------------------------------------

@@ -59,12 +59,33 @@ class ResolverBehavior:
     aggressive_nsec: bool = False
     max_retries: int = 2              #: per-query retries on drop/timeout.
     cyclic_chase_depth: int = 3       #: glue-chase depth on cyclic domains.
+    #: Retransmit timing (RFC 1035 section 4.2.1 spirit): the first timeout
+    #: in milliseconds, the exponential growth factor applied per attempt,
+    #: a per-attempt cap, and a total time budget after which the resolver
+    #: gives up early even with retries left (SERVFAIL-on-exhaustion).
+    retry_initial_timeout_ms: float = 400.0
+    retry_backoff: float = 2.0
+    retry_max_timeout_ms: float = 3000.0
+    retry_budget_ms: float = 8000.0
+    #: RFC 8767 serve-stale: when resolution fails, answer from expired
+    #: cache entries no older than ``serve_stale_window`` seconds past
+    #: their TTL.  Off by default (stock resolver behaviour).
+    serve_stale: bool = False
+    serve_stale_window: float = 86400.0
 
     def __post_init__(self):
         if self.family_policy not in ("rtt", "fixed", "v4only", "v6only"):
             raise ValueError(f"unknown family policy {self.family_policy!r}")
         if not 0.0 <= self.fixed_v6_ratio <= 1.0:
             raise ValueError("fixed_v6_ratio must be in [0, 1]")
+        if self.retry_initial_timeout_ms <= 0 or self.retry_max_timeout_ms <= 0:
+            raise ValueError("retry timeouts must be positive")
+        if self.retry_backoff < 1.0:
+            raise ValueError("retry_backoff must be >= 1")
+        if self.retry_budget_ms <= 0:
+            raise ValueError("retry_budget_ms must be positive")
+        if self.serve_stale_window < 0:
+            raise ValueError("serve_stale_window must be >= 0")
 
 
 @dataclass
@@ -81,7 +102,11 @@ class ResolverStats:
     auth_queries: int = 0
     tcp_retries: int = 0
     servfails: int = 0
-    drops: int = 0
+    drops: int = 0           #: timeouts (each drop costs one timeout wait)
+    retransmits: int = 0     #: re-sends after a timeout (attempt > 0)
+    failovers: int = 0       #: retransmits that moved to a different server
+    retry_exhausted: int = 0  #: sends abandoned (retries/budget spent)
+    stale_served: int = 0    #: RFC 8767 stale answers returned to clients
     cache_hits: int = 0      #: answers served from cache (positive or negative)
     cache_misses: int = 0    #: resolutions that had to go to the network
     by_qtype: Dict[int, int] = field(default_factory=dict)  #: auth sends per qtype
@@ -158,6 +183,9 @@ class SimResolver:
             max_ttl=behavior.max_ttl,
             negative_ttl=behavior.negative_ttl,
             aggressive_nsec=behavior.aggressive_nsec,
+            serve_stale_window=(
+                behavior.serve_stale_window if behavior.serve_stale else 0.0
+            ),
         )
         self._rng = np.random.default_rng(seed)
         self._delegation_expiry: Dict[Name, float] = {}
@@ -171,7 +199,15 @@ class SimResolver:
         side effect.  Returns the RCODE the client would receive."""
         self.stats.client_queries += 1
         session = _Session(now)
-        return self._resolve(network, session, qname, qtype, depth=0)
+        rcode = self._resolve(network, session, qname, qtype, depth=0)
+        if rcode is RCode.SERVFAIL and self.behavior.serve_stale:
+            # RFC 8767: resolution failed — answer from an expired cache
+            # entry still inside the stale window rather than SERVFAIL.
+            stale = self.cache.get_stale(session.now, qname, qtype)
+            if stale is not None:
+                self.stats.stale_served += 1
+                return RCode.NOERROR
+        return rcode
 
     # --------------------------------------------------------------- internals --
 
@@ -214,7 +250,9 @@ class SimResolver:
         if cut is None:
             # Unregistered name: the TLD will answer NXDOMAIN ("junk").
             send_name, send_type = self._minimized(qname, qtype, tld)
-            response = self._send(session, tld_set, send_name, send_type)
+            response = self._send(
+                session, tld_set, send_name, send_type, network.faults
+            )
             if response is None:
                 self.stats.servfails += 1
                 return RCode.SERVFAIL
@@ -227,7 +265,7 @@ class SimResolver:
             # addresses, so every attempt re-queries the TLD for the name
             # itself (hoping for glue) and then chases the partner's NS
             # names — the A/AAAA storm of paper section 4.2.1.
-            self._send(session, tld_set, qname, qtype)
+            self._send(session, tld_set, qname, qtype, network.faults)
             self._chase_cyclic(network, session, cut, depth)
             self.stats.servfails += 1
             return RCode.SERVFAIL
@@ -235,7 +273,9 @@ class SimResolver:
         # Registered: fetch/refresh the delegation if needed.
         if self._delegation_expiry.get(cut, 0.0) <= session.now:
             send_name, send_type = self._minimized(qname, qtype, tld, cut)
-            response = self._send(session, tld_set, send_name, send_type)
+            response = self._send(
+                session, tld_set, send_name, send_type, network.faults
+            )
             if response is None:
                 self.stats.servfails += 1
                 return RCode.SERVFAIL
@@ -277,7 +317,9 @@ class SimResolver:
             self.cache.put_negative(session.now, qname, RCode.NXDOMAIN)
             return RCode.NXDOMAIN
         send_name, send_type = self._minimized(qname, qtype, ROOT)
-        response = self._send(session, network.root, send_name, send_type)
+        response = self._send(
+            session, network.root, send_name, send_type, network.faults
+        )
         if response is None:
             self.stats.servfails += 1
             return RCode.SERVFAIL
@@ -305,7 +347,9 @@ class SimResolver:
         if self._delegation_expiry.get(tld, 0.0) > session.now:
             return
         send_name, send_type = self._minimized(tld, RRType.NS, ROOT)
-        response = self._send(session, network.root, send_name, send_type)
+        response = self._send(
+            session, network.root, send_name, send_type, network.faults
+        )
         if response is not None:
             self._delegation_expiry[tld] = session.now + _TLD_DELEGATION_TTL
             if self.behavior.validates_dnssec:
@@ -331,10 +375,10 @@ class SimResolver:
             self._ds_expiry.get(child, 0.0) <= session.now
             and self._rng.random() < self.behavior.explicit_ds_probability
         ):
-            self._send(session, parent_set, child, RRType.DS)
+            self._send(session, parent_set, child, RRType.DS, network.faults)
             self._ds_expiry[child] = session.now + _DS_TTL
         if self._dnskey_expiry.get(parent, 0.0) <= session.now:
-            self._send(session, parent_set, parent, RRType.DNSKEY)
+            self._send(session, parent_set, parent, RRType.DNSKEY, network.faults)
             self._dnskey_expiry[parent] = session.now + _DNSKEY_TTL
 
     # -- QNAME minimisation --------------------------------------------------------
@@ -425,13 +469,26 @@ class SimResolver:
         server_set: ServerSet,
         qname: Name,
         qtype: RRType,
+        faults=None,
     ) -> Optional[Message]:
         """One authoritative exchange: UDP, then TCP on truncation, with
-        bounded retries on RRL drops."""
+        exponential-backoff retransmits on drops/timeouts, failover across
+        the NS set, and a bounded total retry budget.
+
+        ``faults`` is the network's optional
+        :class:`~repro.faults.FaultInjector`; its per-packet verdicts are
+        hash-based (no RNG draw), so with no injector — or an all-pass one —
+        this method's RNG consumption and timestamps are bit-identical to
+        the fault-free path.
+        """
         behavior = self.behavior
-        qtype_counts = self.stats.by_qtype
+        stats = self.stats
+        qtype_counts = stats.by_qtype
         qtype_counts[int(qtype)] = qtype_counts.get(int(qtype), 0) + 1
         failed: set = set()
+        qname_key = qname.to_text().encode() if faults is not None else b""
+        last_server_id: Optional[str] = None
+        spent_timeout_ms = 0.0
         for attempt in range(behavior.max_retries + 1):
             server = self._choose_server(server_set, frozenset(failed))
             family = self._choose_family(server_set, server)
@@ -450,20 +507,42 @@ class SimResolver:
             rtt = server_set.rtt_ms(server, self.site, family)
             if family == 6:
                 rtt += behavior.v6_extra_rtt_ms
-            self.stats.auth_queries += 1
-            response = server.handle_query(
-                session.tick(rtt), src, Transport.UDP, query
-            )
+            if faults is not None:
+                rtt += faults.extra_latency_ms(server.server_id, session.now, rtt)
+            if attempt:
+                stats.retransmits += 1
+                if server.server_id != last_server_id:
+                    stats.failovers += 1
+            last_server_id = server.server_id
+            stats.auth_queries += 1
+            send_time = session.tick(rtt)
+            if faults is not None and faults.udp_fate(
+                server.server_id, family, send_time, qname_key
+            ).dropped:
+                response = None  # lost in transit: the server never sees it
+            else:
+                response = server.handle_query(
+                    send_time, src, Transport.UDP, query
+                )
             if response is None:
-                # Drop (RRL or outage) → timeout, try another server.
-                self.stats.drops += 1
+                # Drop (fault, RRL, or outage) → wait out the timeout, back
+                # off exponentially, and prefer a different server next.
+                stats.drops += 1
                 failed.add(server.server_id)
-                session.tick(400.0)  # timeout before retry
+                timeout_ms = min(
+                    behavior.retry_initial_timeout_ms
+                    * behavior.retry_backoff ** attempt,
+                    behavior.retry_max_timeout_ms,
+                )
+                session.tick(timeout_ms)
+                spent_timeout_ms += timeout_ms
+                if spent_timeout_ms >= behavior.retry_budget_ms:
+                    break  # total budget exhausted: give up early
                 continue
             if response.is_truncated() and behavior.tcp_fallback:
                 tcp_rtt = rtt * float(1.0 + 0.05 * self._rng.random())
-                self.stats.auth_queries += 1
-                self.stats.tcp_retries += 1
+                stats.auth_queries += 1
+                stats.tcp_retries += 1
                 response = server.handle_query(
                     session.tick(2 * tcp_rtt),
                     src,
@@ -472,6 +551,7 @@ class SimResolver:
                     tcp_rtt_ms=tcp_rtt,
                 )
             return response
+        stats.retry_exhausted += 1
         return None
 
     # -- NSEC learning ------------------------------------------------------------------

@@ -122,6 +122,10 @@ class AuthorityNetwork:
         vantage points).
     leaf:
         The synthetic leaf authority.
+    faults:
+        Optional :class:`~repro.faults.FaultInjector` applied to every
+        resolver→authoritative exchange on this network.  ``None`` (the
+        default) is the loss-free, always-up network of the seed.
     """
 
     def __init__(
@@ -129,10 +133,12 @@ class AuthorityNetwork:
         root: ServerSet,
         tlds: Dict[Name, ServerSet],
         leaf: Optional[SyntheticLeafAuthority] = None,
+        faults=None,
     ):
         self.root = root
         self.tlds = dict(tlds)
         self.leaf = leaf if leaf is not None else SyntheticLeafAuthority()
+        self.faults = faults
 
     def server_set_for(self, origin: Name) -> Optional[ServerSet]:
         """The simulated server set authoritative for ``origin`` (root or a

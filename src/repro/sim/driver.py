@@ -48,6 +48,7 @@ from ..clouds import (
     build_facebook_ptr_table,
 )
 from ..dnscore import Name, ROOT, RRType
+from ..faults import FaultInjector, derive_fault_seed
 from ..netsim import ASRegistry, GAZETTEER, LatencyModel
 from ..resolver import (
     AuthorityNetwork,
@@ -242,6 +243,23 @@ def build_environment(
 
         network = AuthorityNetwork(root=root_set, tlds=tld_sets, leaf=leaf)
 
+        # Chaos: resolve the descriptor's fault plan (if any) against this
+        # dataset's capture window.  A disabled/empty plan attaches nothing,
+        # keeping the zero-fault path literally identical to no plan at all.
+        plan = descriptor.fault_plan
+        if plan is not None and plan.enabled:
+            fault_seed = plan.seed if plan.seed is not None else derive_fault_seed(seed)
+            network.faults = FaultInjector(
+                plan, fault_seed, descriptor.start, descriptor.duration
+            )
+            logger.info(
+                "chaos plan %r active (seed %d): loss=%.3f outages=%d "
+                "blackouts=%d latency=%d storms=%d",
+                plan.name or "<unnamed>", fault_seed, plan.packet_loss,
+                len(plan.outages), len(plan.blackouts), len(plan.latency),
+                len(plan.storms),
+            )
+
     # -- resolver fleets ---------------------------------------------------------
     with metrics.time_phase("fleet_build"):
         fleet, registry = build_all_fleets(descriptor.vantage, descriptor.year, seed)
@@ -286,6 +304,11 @@ def publish_fleet_metrics(metrics: MetricsRegistry, fleet: Iterable) -> None:
         metrics.counter("resolver.drops", **label).inc(stats.drops)
         metrics.counter("resolver.cache_hits", **label).inc(stats.cache_hits)
         metrics.counter("resolver.cache_misses", **label).inc(stats.cache_misses)
+        metrics.counter("resolver.retry.timeouts", **label).inc(stats.drops)
+        metrics.counter("resolver.retry.retransmits", **label).inc(stats.retransmits)
+        metrics.counter("resolver.retry.failovers", **label).inc(stats.failovers)
+        metrics.counter("resolver.retry.exhausted", **label).inc(stats.retry_exhausted)
+        metrics.counter("resolver.retry.stale_served", **label).inc(stats.stale_served)
         for qtype, count in stats.by_qtype.items():
             try:
                 qtype_name = RRType(qtype).name
@@ -310,9 +333,12 @@ def _publish_run_metrics(
     server_sets: Dict[str, ServerSet],
     capture: CaptureStore,
     fleet_size: int,
+    faults: Optional[FaultInjector] = None,
 ) -> None:
     publish_fleet_metrics(metrics, fleet)
     publish_server_metrics(metrics, server_sets)
+    if faults is not None:
+        faults.publish_metrics(metrics)
     capture.publish_metrics(metrics, window_seconds=metrics.phase_seconds("resolve"))
     metrics.gauge("sim.fleet_size").set(fleet_size)
 
@@ -419,7 +445,7 @@ def simulate_shard(task: ShardTask) -> ShardResult:
     queries_run = run_member_range(env, total_queries, metrics, task.start, stop)
     _publish_run_metrics(
         metrics, env.fleet[task.start:stop], env.server_sets, env.capture,
-        fleet_size=len(env.fleet),
+        fleet_size=len(env.fleet), faults=env.network.faults,
     )
     return ShardResult(
         shard_index=task.shard_index,
@@ -540,7 +566,7 @@ def run_dataset(
                 queries_run += shard_queries
         _publish_run_metrics(
             metrics, env.fleet, env.server_sets, env.capture,
-            fleet_size=len(env.fleet),
+            fleet_size=len(env.fleet), faults=env.network.faults,
         )
         with metrics.time_phase("runtime.merge"):
             env.capture.sort_canonical()

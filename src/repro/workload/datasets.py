@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..faults import FaultPlan
 from ..netsim import utc_timestamp
 
 WEEK_SECONDS = 7 * 86400.0
@@ -51,6 +52,9 @@ class DatasetDescriptor:
     cyclic_event: bool = False            #: Feb-2020 .nz misconfiguration
     providers_only: Optional[Tuple[str, ...]] = None  #: restrict fleets
     qmin_override: Optional[bool] = None  #: force Q-min (monthly runs)
+    #: Optional chaos schedule (see :mod:`repro.faults`); ``None`` — and a
+    #: disabled plan — keep the loss-free, always-up network of the seed.
+    fault_plan: Optional[FaultPlan] = None
 
     @property
     def zone_total(self) -> int:

@@ -132,6 +132,112 @@ class TestCLI:
             main([])
 
 
+class TestChaosCLI:
+    def test_chaos_command_lists_scenarios(self, capsys):
+        assert main(["chaos"]) == 0
+        out = capsys.readouterr().out
+        for name in ("default-loss", "heavy-loss", "partial-outage",
+                     "total-outage", "v6-blackout", "latency-storm",
+                     "rrl-pressure", "flaky-server"):
+            assert name in out
+
+    def test_dataset_chaos_flag(self, capsys, tmp_path, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        path = tmp_path / "telemetry.json"
+        assert main(
+            ["dataset", "nz-w2018", "--scale", "0.01",
+             "--chaos", "default-loss", "--telemetry-out", str(path)]
+        ) == 0
+        captured = capsys.readouterr()
+        assert "chaos scenario 'default-loss' active" in captured.err
+        assert "fault drops" in captured.out
+        data = json.loads(path.read_text())
+        assert data["counters"]["faults.checks"] > 0
+
+    def test_chaos_env_default(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_CHAOS", "default-loss")
+        assert main(["dataset", "nz-w2018", "--scale", "0.01"]) == 0
+        captured = capsys.readouterr()
+        assert "chaos scenario 'default-loss' active" in captured.err
+
+    def test_chaos_seed_flag_accepted(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert main(
+            ["dataset", "nz-w2018", "--scale", "0.01",
+             "--chaos", "default-loss", "--chaos-seed", "5"]
+        ) == 0
+        capsys.readouterr()
+
+    def test_unknown_chaos_scenario_errors(self, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        with pytest.raises(KeyError, match="default-loss"):
+            main(["dataset", "nz-w2018", "--scale", "0.01", "--chaos", "nope"])
+
+    def test_experiments_chaos_plumbed(self, capsys, monkeypatch):
+        from repro.experiments import render_all
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        seen = {}
+
+        def fake_run_and_render(scale=None, dataset_filter=None,
+                                seed=20201027, ctx=None):
+            seen["ctx"] = ctx
+            return "# stub report"
+
+        monkeypatch.setattr(render_all, "run_and_render", fake_run_and_render)
+        assert main(
+            ["experiments", "--scale", "0.05", "--chaos", "heavy-loss"]
+        ) == 0
+        capsys.readouterr()
+        assert seen["ctx"].fault_plan is not None
+        assert seen["ctx"].fault_plan.name == "heavy-loss"
+
+
+class TestPartialExit:
+    @staticmethod
+    def _break_runtime_report(monkeypatch):
+        """Wrap run_dataset so the returned report claims a failed shard."""
+        import repro.sim as sim_module
+        from repro.runtime import ShardOutcome
+
+        real = sim_module.run_dataset
+
+        def failing(descriptor, **kwargs):
+            run = real(descriptor, **kwargs)
+            run.runtime_report.failures = 1
+            run.runtime_report.outcomes.append(
+                ShardOutcome(index=7, start=0, stop=None, error="boom")
+            )
+            return run
+
+        monkeypatch.setattr(sim_module, "run_dataset", failing)
+
+    def test_failed_shards_exit_nonzero(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        self._break_runtime_report(monkeypatch)
+        assert main(["dataset", "nz-w2018", "--scale", "0.01"]) == 3
+        err = capsys.readouterr().err
+        assert "capture is incomplete" in err
+        assert "#7 (boom)" in err
+
+    def test_allow_partial_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        self._break_runtime_report(monkeypatch)
+        assert main(
+            ["dataset", "nz-w2018", "--scale", "0.01", "--allow-partial"]
+        ) == 0
+        err = capsys.readouterr().err
+        assert "continuing anyway (--allow-partial)" in err
+
+    def test_clean_run_exits_zero(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        assert main(["dataset", "nz-w2018", "--scale", "0.01"]) == 0
+        err = capsys.readouterr().err
+        assert "capture is incomplete" not in err
+
+
 class TestRenderMarkdown:
     def test_render_contains_reports_and_meta(self):
         report = Report("figure1a", "Test report")

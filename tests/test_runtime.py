@@ -6,6 +6,8 @@ bit-identical to the serial path for any ``N`` — including when shards
 crash or hang and the runtime recovers via retry / serial fallback.
 """
 
+from dataclasses import replace
+
 import numpy as np
 import pytest
 
@@ -14,10 +16,13 @@ from repro.capture.schema import QueryRecord, Transport
 from repro.netsim import IPAddress
 from repro.runtime import (
     RuntimeConfig,
+    ShardExecutor,
+    ShardTask,
     derive_shard_seed,
     plan_shards,
 )
 from repro.sim import run_dataset
+from repro.telemetry import MetricsRegistry
 from repro.workload import dataset
 
 DATASET = "nz-w2018"
@@ -207,6 +212,88 @@ class TestFaultRecovery:
         assert report.fallbacks >= 1
         assert run.telemetry.counters["runtime.shard_fallbacks"] >= 1
         assert_views_equal(serial_run.capture.view(), run.capture.view())
+
+
+def _shard_tasks(count=2, queries=60, descriptor=None):
+    """Minimal full-fleet tasks for driving ShardExecutor directly."""
+    base = dataset(DATASET) if descriptor is None else descriptor
+    return [
+        ShardTask(
+            descriptor=base, seed=7, client_queries=queries,
+            shard_index=index, shard_seed=derive_shard_seed(7, index),
+        )
+        for index in range(count)
+    ]
+
+
+class TestShardExecutorAccounting:
+    """Direct executor-level tests: attempts/retry/fallback bookkeeping."""
+
+    def test_crash_attempts_pool_retry_fallback(self):
+        metrics = MetricsRegistry()
+        executor = ShardExecutor(
+            RuntimeConfig(workers=2, inject_faults={0: "crash"}), metrics
+        )
+        executor.submit(_shard_tasks())
+        results, report = executor.collect()
+        assert report.failures == 0
+        assert report.retries == 1
+        assert report.fallbacks == 1
+        # Shard 0: pool attempt + pool retry + serial fallback = 3 attempts.
+        assert report.outcomes[0].attempts == 3
+        assert report.outcomes[0].fallback
+        assert report.outcomes[0].error is None
+        assert report.outcomes[1].attempts == 1
+        assert not report.outcomes[1].fallback
+        assert [r.shard_index for r in results] == [0, 1]
+        assert results[0].fallback and not results[1].fallback
+        snap = metrics.snapshot()
+        assert snap.counters["runtime.shard_retries"] == 1
+        assert snap.counters["runtime.shard_fallbacks"] == 1
+        assert "runtime.shard_failures" not in snap.counters
+
+    def test_hang_times_out_retries_then_falls_back(self):
+        metrics = MetricsRegistry()
+        executor = ShardExecutor(
+            RuntimeConfig(
+                workers=2, shard_timeout_s=0.4, retries=1,
+                inject_faults={0: "hang"},
+            ),
+            metrics,
+        )
+        executor.submit(_shard_tasks())
+        results, report = executor.collect()
+        # Both the pool attempt and the retry hang past the timeout; the
+        # serial fallback (faults stripped) recovers the rows.
+        assert report.failures == 0
+        assert report.retries == 1
+        assert report.fallbacks == 1
+        assert report.outcomes[0].attempts == 3
+        assert report.outcomes[0].fallback
+        assert len(results) == 2
+        assert results[0].rows_appended > 0
+
+    def test_permanent_failure_is_reported_not_raised(self):
+        # An empty server set fails environment build everywhere — pool,
+        # retry, and serial fallback — so the shard must surface as a
+        # failure in the report instead of crashing the run.
+        broken = replace(dataset(DATASET), servers=())
+        tasks = _shard_tasks()
+        tasks[0] = replace(tasks[0], descriptor=broken)
+        metrics = MetricsRegistry()
+        executor = ShardExecutor(RuntimeConfig(workers=2, retries=1), metrics)
+        executor.submit(tasks)
+        results, report = executor.collect()
+        assert report.failures == 1
+        assert report.retries == 1
+        assert report.fallbacks == 1
+        outcome = report.outcomes[0]
+        assert outcome.error is not None
+        assert "serial fallback failed" in outcome.error
+        assert outcome.attempts == 3
+        assert [r.shard_index for r in results] == [1]
+        assert report.failed_shards == [outcome]
+        assert metrics.snapshot().counters["runtime.shard_failures"] == 1
 
 
 class TestExperimentParity:
