@@ -1,0 +1,203 @@
+"""Benchmark P2: the hot-path caches (ISSUE 4).
+
+Measures the simulator's serial queries/sec in three regimes and writes
+``BENCH_hotpath.json`` next to this file:
+
+* **baseline** — all caches disabled (``REPRO_PLAN_CACHE=0``, environment
+  cache bypassed): every run pays environment construction and per-query
+  response building + wire encoding, exactly what every shard paid before
+  this PR;
+* **cached cold** — caches enabled, first run: the plan cache warms as it
+  goes (steady-state repeats within the run already hit);
+* **cached steady** — caches enabled, repeat runs of the same dataset
+  through :func:`repro.sim.driver.simulate_shard`: the environment comes
+  back from the worker-persistent cache and the response-plan cache is
+  fully warm, which is the regime every shard after the first lives in;
+* **parallel** — ``run_dataset(workers=4)`` for cross-reference with
+  ``BENCH_parallel.json`` (meaningless on a 1-core box and flagged as
+  such).
+
+The headline assertion is the tentpole's acceptance bar: steady-state
+queries/sec must be at least twice the baseline.  Bit-identity of the
+captures across every regime is asserted too — a cache that changes one
+byte of output is a bug, not an optimisation.
+
+``REPRO_HOTPATH_MIN_QPS`` optionally sets an absolute steady-state
+queries/sec floor (the CI smoke job uses this).
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from conftest import emit
+
+from repro.experiments.context import configured_scale
+from repro.runtime import ShardTask
+from repro.sim import run_dataset
+from repro.sim.driver import simulate_shard
+from repro.workload import dataset
+
+BENCH_HOTPATH_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_hotpath.json"
+)
+
+DATASET = "nl-w2020"
+BASE_VOLUME = 8_000
+SEED = 20201027
+PARALLEL_WORKERS = 4
+#: Timed repetitions per regime; the best run is scored to damp the noise
+#: of shared CI boxes (caches make runs faster, never slower, so the best
+#: observation is the least-contaminated one).
+REPEATS = 2
+
+MIN_QPS_ENV = "REPRO_HOTPATH_MIN_QPS"
+
+
+def _views_identical(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for name in a.__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        if not np.array_equal(x, y, equal_nan=(name == "tcp_rtt_ms")):
+            return False
+    return True
+
+
+def _counter_total(snapshot, needle: str) -> int:
+    return sum(
+        value for key, value in snapshot.counters.items() if needle in str(key)
+    )
+
+
+def test_bench_hotpath():
+    descriptor = dataset(DATASET)
+    volume = max(2_000, int(BASE_VOLUME * configured_scale()))
+    cores = os.cpu_count() or 1
+
+    # -- baseline: the pre-PR hot path (caches off, cold build every run) --
+    saved = os.environ.get("REPRO_PLAN_CACHE")
+    os.environ["REPRO_PLAN_CACHE"] = "0"
+    try:
+        baseline_runs = []
+        for _ in range(REPEATS):
+            started = time.perf_counter()
+            baseline = run_dataset(descriptor, seed=SEED, client_queries=volume,
+                                   workers=1)
+            baseline_runs.append(time.perf_counter() - started)
+    finally:
+        if saved is None:
+            os.environ.pop("REPRO_PLAN_CACHE", None)
+        else:
+            os.environ["REPRO_PLAN_CACHE"] = saved
+    baseline_s = min(baseline_runs)
+
+    # -- cached: cold first shard, then steady-state repeats ---------------
+    task = ShardTask(
+        descriptor=descriptor, seed=SEED, client_queries=volume,
+        shard_index=0, shard_seed=0, start=0, stop=None,
+    )
+    started = time.perf_counter()
+    cold = simulate_shard(task)
+    cold_s = time.perf_counter() - started
+
+    steady_runs = []
+    steady = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        steady = simulate_shard(task)
+        steady_runs.append(time.perf_counter() - started)
+    steady_s = min(steady_runs)
+
+    # Every regime must produce byte-identical captures.
+    from repro.capture import CaptureStore
+
+    baseline.capture.sort_canonical()
+    cold_store = CaptureStore.from_raw_rows(cold.rows, cold.rows_appended)
+    cold_store.sort_canonical()
+    steady_store = CaptureStore.from_raw_rows(steady.rows, steady.rows_appended)
+    steady_store.sort_canonical()
+    assert _views_identical(baseline.capture.view(), cold_store.view())
+    assert _views_identical(baseline.capture.view(), steady_store.view())
+
+    # The steady runs really must have run warm, or the numbers lie.
+    assert _counter_total(steady.telemetry, "runtime.env_cache.hit") == 1
+    assert _counter_total(steady.telemetry, "runtime.plan_cache.misses") == 0
+
+    # -- parallel cross-reference ------------------------------------------
+    started = time.perf_counter()
+    pooled = run_dataset(descriptor, seed=SEED, client_queries=volume,
+                         workers=PARALLEL_WORKERS)
+    parallel_s = time.perf_counter() - started
+    pooled.capture.sort_canonical()
+    assert _views_identical(baseline.capture.view(), pooled.capture.view())
+
+    baseline_qps = volume / baseline_s
+    cold_qps = volume / cold_s
+    steady_qps = volume / steady_s
+    parallel_qps = volume / parallel_s
+    speedup = steady_qps / baseline_qps
+
+    payload = {
+        "generated_unix": time.time(),
+        "dataset": DATASET,
+        "client_queries": volume,
+        "seed": SEED,
+        "cpu_cores": cores,
+        "how_to_read": (
+            "baseline = caches disabled, cold environment build every run "
+            "(the pre-PR per-shard cost); cached_cold = caches on, first "
+            "run; cached_steady = caches on, repeat run with warm "
+            "environment + response plans (the regime every shard after "
+            "the first lives in); speedup_steady_vs_baseline is the "
+            "tentpole acceptance number (must be >= 2)"
+        ),
+        "baseline_s": baseline_s,
+        "baseline_queries_per_s": baseline_qps,
+        "cached_cold_s": cold_s,
+        "cached_cold_queries_per_s": cold_qps,
+        "cached_steady_s": steady_s,
+        "cached_steady_queries_per_s": steady_qps,
+        "speedup_steady_vs_baseline": speedup,
+        "parallel_workers": PARALLEL_WORKERS,
+        "parallel_s": parallel_s,
+        "parallel_queries_per_s": parallel_qps,
+        "parallel_note": (
+            "meaningful only when cpu_cores >= 2"
+            if cores >= 2
+            else "IGNORE: 1-core machine, the pool cannot beat serial here"
+        ),
+        "captures_bit_identical": True,
+        "plan_cache": {
+            "cold_hits": _counter_total(cold.telemetry, "runtime.plan_cache.hits"),
+            "cold_misses": _counter_total(
+                cold.telemetry, "runtime.plan_cache.misses"
+            ),
+            "steady_hits": _counter_total(
+                steady.telemetry, "runtime.plan_cache.hits"
+            ),
+            "steady_misses": 0,
+        },
+    }
+    with open(BENCH_HOTPATH_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    emit(
+        f"hotpath: {DATASET} @ {volume} queries — baseline {baseline_qps:.0f} q/s, "
+        f"cached cold {cold_qps:.0f} q/s, steady {steady_qps:.0f} q/s "
+        f"({speedup:.2f}x), parallel({PARALLEL_WORKERS}w) {parallel_qps:.0f} q/s "
+        f"on {cores} cores"
+    )
+
+    assert speedup >= 2.0, (
+        f"steady-state throughput only {speedup:.2f}x baseline "
+        f"({steady_qps:.0f} vs {baseline_qps:.0f} q/s)"
+    )
+    floor = os.environ.get(MIN_QPS_ENV)
+    if floor is not None:
+        assert steady_qps >= float(floor), (
+            f"steady-state {steady_qps:.0f} q/s below {MIN_QPS_ENV}={floor}"
+        )

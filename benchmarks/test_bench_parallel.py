@@ -61,6 +61,15 @@ def test_bench_parallel_speedup():
 
     speedup = serial_s / pool_s if pool_s > 0 else 0.0
     cores = os.cpu_count() or 1
+    if cores >= 4:
+        speedup_assertion = "asserted: speedup > 1.5"
+    elif cores >= 2:
+        speedup_assertion = "asserted: speedup > 1.1"
+    else:
+        speedup_assertion = (
+            "skipped: single-core machine — the speedup number below is NOT "
+            "a regression signal, a 1-core box cannot beat serial"
+        )
     telemetry = pooled.telemetry.as_dict()
     payload = {
         "generated_unix": time.time(),
@@ -68,7 +77,10 @@ def test_bench_parallel_speedup():
         "client_queries": volume,
         "workers": WORKERS,
         "shards": report.shard_count,
+        # cpu_cores leads the timing block: every number below it is only
+        # meaningful relative to the cores the run actually had.
         "cpu_cores": cores,
+        "speedup_assertion": speedup_assertion,
         "serial_s": serial_s,
         "parallel_s": pool_s,
         "speedup": speedup,
@@ -102,9 +114,9 @@ def test_bench_parallel_speedup():
     emit(
         f"parallel runtime: {DATASET} @ {volume} queries — "
         f"serial {serial_s:.2f}s vs {WORKERS} workers {pool_s:.2f}s "
-        f"({speedup:.2f}x on {cores} cores)"
+        f"({speedup:.2f}x on {cores} cores; {speedup_assertion})"
     )
     if cores >= 4:
-        assert speedup > 1.5
+        assert speedup > 1.5, f"expected >1.5x on {cores} cores, got {speedup:.2f}x"
     elif cores >= 2:
-        assert speedup > 1.1
+        assert speedup > 1.1, f"expected >1.1x on {cores} cores, got {speedup:.2f}x"

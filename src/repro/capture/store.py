@@ -173,7 +173,15 @@ class CaptureStore:
         hist = metrics.histogram(
             "capture.response_size_bytes", buckets=RESPONSE_SIZE_BUCKETS
         )
-        sizes = self.view().response_size
+        # Only the response-size column is needed; freezing the whole
+        # 14-column view here would do ~14x the work (workers publish once
+        # per shard and immediately discard).
+        if self._frozen is not None:
+            sizes = self._frozen.response_size
+        else:
+            sizes = np.fromiter(
+                (row[11] for row in self._rows), dtype=np.uint32, count=len(self._rows)
+            )
         if len(sizes):
             indices = np.searchsorted(
                 np.asarray(hist.bounds), sizes.astype(np.float64), side="left"
@@ -213,6 +221,14 @@ class CaptureStore:
         self.rows_appended += 1
         self._frozen = None
 
+    def append_row(self, row: Tuple) -> None:
+        """Add one pre-packed row tuple, skipping :class:`QueryRecord`
+        construction entirely — the response-plan cache's hit path.  The
+        tuple must follow the :meth:`_row_of` layout exactly."""
+        self._rows.append(row)
+        self.rows_appended += 1
+        self._frozen = None
+
     def extend(self, records: Iterable[QueryRecord]) -> None:
         """Bulk append: one view invalidation and one ``rows_appended``
         update for the whole batch (the merge path's hot loop)."""
@@ -221,6 +237,27 @@ class CaptureStore:
             return
         self._rows.extend(rows)
         self.rows_appended += len(rows)
+        self._frozen = None
+
+    def extend_rows(self, rows: Sequence[Tuple]) -> None:
+        """Bulk append of pre-packed row tuples (cross-shard batch path)."""
+        if not rows:
+            return
+        self._rows.extend(rows)
+        self.rows_appended += len(rows)
+        self._frozen = None
+
+    def clear(self) -> None:
+        """Reset to the freshly-constructed state.
+
+        The old row list is *released*, not cleared in place: callers that
+        received it via :meth:`raw_rows` (shard results in flight back to
+        the pool parent) keep a valid snapshot while the store — still
+        shared by reference with its authoritative servers — starts a new
+        session on a fresh list.
+        """
+        self._rows = []
+        self.rows_appended = 0
         self._frozen = None
 
     # -- sharded-runtime support -----------------------------------------------

@@ -9,6 +9,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import List, Optional, Tuple
 
 from .edns import EdnsRecord, effective_udp_limit
@@ -33,6 +34,11 @@ class Flags:
     cd: bool = False
     rcode: RCode = RCode.NOERROR
 
+    # The two codecs are pure functions over a small domain (the distinct
+    # flag combinations a simulation produces number in the dozens), so
+    # both directions are memoised — Flags is frozen and hashable.
+
+    @lru_cache(maxsize=4096)
     def to_wire_word(self) -> int:
         word = 0
         if self.qr:
@@ -55,17 +61,28 @@ class Flags:
 
     @classmethod
     def from_wire_word(cls, word: int) -> "Flags":
-        return cls(
-            qr=bool(word & 0x8000),
-            opcode=Opcode((word >> 11) & 0xF),
-            aa=bool(word & 0x0400),
-            tc=bool(word & 0x0200),
-            rd=bool(word & 0x0100),
-            ra=bool(word & 0x0080),
-            ad=bool(word & 0x0020),
-            cd=bool(word & 0x0010),
-            rcode=RCode(word & 0xF),
-        )
+        return _flags_from_wire_word(int(word))
+
+
+@lru_cache(maxsize=4096)
+def _flags_from_wire_word(word: int) -> Flags:
+    return Flags(
+        qr=bool(word & 0x8000),
+        opcode=Opcode((word >> 11) & 0xF),
+        aa=bool(word & 0x0400),
+        tc=bool(word & 0x0200),
+        rd=bool(word & 0x0100),
+        ra=bool(word & 0x0080),
+        ad=bool(word & 0x0020),
+        cd=bool(word & 0x0010),
+        rcode=RCode(word & 0xF),
+    )
+
+
+@lru_cache(maxsize=16)
+def _query_flags(rd: bool) -> Flags:
+    """Interned header flags for freshly built queries (hot path)."""
+    return Flags(rd=rd)
 
 
 @dataclass(frozen=True)
@@ -118,7 +135,7 @@ class Message:
         """Build a standard query message."""
         return cls(
             msg_id=msg_id,
-            flags=Flags(rd=recursion_desired),
+            flags=_query_flags(recursion_desired),
             questions=[Question(qname, qtype)],
             edns=edns,
         )

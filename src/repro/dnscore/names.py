@@ -46,11 +46,14 @@ class Name:
         the terminating empty root label (it is implicit).
     """
 
-    __slots__ = ("_labels", "_key", "_hash")
+    __slots__ = ("_labels", "_key", "_hash", "_wire", "_text", "_parent")
 
     _labels: Tuple[bytes, ...]
     _key: Tuple[bytes, ...]
     _hash: int
+    _wire: Optional[bytes]
+    _text: Optional[str]
+    _parent: Optional["Name"]
 
     def __init__(self, labels: Iterable[bytes] = ()):
         labels = tuple(bytes(label) for label in labels)
@@ -70,6 +73,9 @@ class Name:
         key = tuple(_casefold_label(label) for label in labels)
         object.__setattr__(self, "_key", key)
         object.__setattr__(self, "_hash", hash(key))
+        object.__setattr__(self, "_wire", None)
+        object.__setattr__(self, "_text", None)
+        object.__setattr__(self, "_parent", None)
 
     # -- construction ------------------------------------------------------
 
@@ -113,7 +119,14 @@ class Name:
     # -- rendering ---------------------------------------------------------
 
     def to_text(self) -> str:
-        """Render in absolute presentation format (trailing dot)."""
+        """Render in absolute presentation format (trailing dot).
+
+        Pure function of the immutable labels, so the rendering is computed
+        once and interned on the instance.
+        """
+        text = self._text
+        if text is not None:
+            return text
         if not self._labels:
             return "."
         parts = []
@@ -127,7 +140,9 @@ class Name:
                 else:
                     out.append(f"\\{b:03d}")
             parts.append("".join(out))
-        return ".".join(parts) + "."
+        text = ".".join(parts) + "."
+        object.__setattr__(self, "_text", text)
+        return text
 
     def __str__(self) -> str:
         return self.to_text()
@@ -138,6 +153,8 @@ class Name:
     # -- equality / ordering -------------------------------------------------
 
     def __eq__(self, other: object) -> bool:
+        if self is other:
+            return True
         if not isinstance(other, Name):
             return NotImplemented
         return self._key == other._key
@@ -170,11 +187,18 @@ class Name:
     def parent(self) -> "Name":
         """The name with the leftmost label removed.
 
-        Raises :class:`NameError_` on the root name.
+        Raises :class:`NameError_` on the root name.  Memoised per
+        instance — QNAME minimisation walks parent chains on every send,
+        and names are immutable.
         """
+        parent = self._parent
+        if parent is not None:
+            return parent
         if not self._labels:
             raise NameError_("the root name has no parent")
-        return Name(self._labels[1:])
+        parent = Name(self._labels[1:])
+        object.__setattr__(self, "_parent", parent)
+        return parent
 
     def ancestors(self) -> Iterator["Name"]:
         """Yield every proper ancestor, nearest first, ending with the root."""
@@ -194,7 +218,12 @@ class Name:
             raise NameError_(
                 f"{self.to_text()} has no ancestor with {count} labels"
             )
-        return Name(self._labels[len(self._labels) - count :])
+        # Walk the (memoised) parent chain instead of slicing into a fresh
+        # Name: repeated minimisation over the same names reuses instances.
+        name = self
+        while len(name._labels) > count:
+            name = name.parent()
+        return name
 
     def is_subdomain_of(self, other: "Name") -> bool:
         """True if ``self`` equals or falls under ``other``."""
@@ -244,7 +273,22 @@ class Name:
         offset:
             Wire offset at which this name will be placed; only used to
             register compression targets.
+
+        Compression-free encodings are position-independent and depend only
+        on the (immutable) labels, so they are computed once per name and
+        interned on the instance.
         """
+        if compress is None:
+            wire = self._wire
+            if wire is None:
+                plain = bytearray()
+                for label in self._labels:
+                    plain.append(len(label))
+                    plain.extend(label)
+                plain.append(0)
+                wire = bytes(plain)
+                object.__setattr__(self, "_wire", wire)
+            return wire
         out = bytearray()
         labels = self._labels
         key = self._key

@@ -20,6 +20,7 @@ behavioural axes are explicit, configurable knobs on
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
+from functools import lru_cache
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -136,6 +137,17 @@ _DS_TTL = 86400.0
 _DNSKEY_TTL = 345600.0
 
 
+@lru_cache(maxsize=256)
+def _edns_for(bufsize: int, dnssec_ok: bool) -> EdnsRecord:
+    """Interned OPT template per (bufsize, DO) pair.
+
+    :class:`EdnsRecord` is frozen and the fleet exercises only a handful of
+    behaviour profiles, so the per-send construction in ``_send`` is pure
+    allocation overhead.
+    """
+    return EdnsRecord(udp_payload_size=bufsize, dnssec_ok=dnssec_ok)
+
+
 class SimResolver:
     """One simulated recursive resolver.
 
@@ -187,10 +199,34 @@ class SimResolver:
                 behavior.serve_stale_window if behavior.serve_stale else 0.0
             ),
         )
+        self._seed = seed
         self._rng = np.random.default_rng(seed)
         self._delegation_expiry: Dict[Name, float] = {}
         self._ds_expiry: Dict[Name, float] = {}
         self._dnskey_expiry: Dict[Name, float] = {}
+
+    def reset_session(self) -> None:
+        """Restore the freshly-constructed state for environment reuse.
+
+        Rewinds everything a simulation run mutates — stats, cache,
+        delegation/DNSSEC expiries, and the RNG stream (reseeded from the
+        construction seed) — so a reused resolver replays queries
+        bit-identically to a newly built one.
+        """
+        behavior = self.behavior
+        self.stats = ResolverStats()
+        self.cache = ResolverCache(
+            max_ttl=behavior.max_ttl,
+            negative_ttl=behavior.negative_ttl,
+            aggressive_nsec=behavior.aggressive_nsec,
+            serve_stale_window=(
+                behavior.serve_stale_window if behavior.serve_stale else 0.0
+            ),
+        )
+        self._rng = np.random.default_rng(self._seed)
+        self._delegation_expiry.clear()
+        self._ds_expiry.clear()
+        self._dnskey_expiry.clear()
 
     # ------------------------------------------------------------------ API --
 
@@ -494,10 +530,7 @@ class SimResolver:
             family = self._choose_family(server_set, server)
             src = self.v4 if family == 4 else self.v6
             edns = (
-                EdnsRecord(
-                    udp_payload_size=behavior.edns_bufsize,
-                    dnssec_ok=behavior.set_do,
-                )
+                _edns_for(behavior.edns_bufsize, behavior.set_do)
                 if behavior.edns_bufsize > 0
                 else None
             )

@@ -14,6 +14,7 @@ layer is also where the Feb-2020 `.nz` cyclic-dependency misconfiguration
 
 from __future__ import annotations
 
+import zlib
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
@@ -77,8 +78,6 @@ class SyntheticLeafAuthority:
 
     @staticmethod
     def _stable_hash(name: Name, salt: str) -> int:
-        import zlib
-
         return zlib.crc32((salt + name.to_text().lower()).encode())
 
     def answer(self, domain: Name, qname: Name, qtype: RRType) -> LeafAnswer:

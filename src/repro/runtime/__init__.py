@@ -9,6 +9,8 @@ result:
 * :mod:`repro.runtime.executor` — the process-pool backend with per-shard
   timeout, retry-once, serial-fallback semantics, and ``runtime.*``
   telemetry; the serial in-process backend lives in the driver itself;
+* :mod:`repro.runtime.env_cache` — the worker-persistent environment cache
+  that lets N shards of one dataset share a single ``build_environment``;
 * merging — :meth:`repro.capture.CaptureStore.merge` (canonical
   ``(timestamp, server_id)`` ordering) plus
   :meth:`repro.telemetry.MetricsRegistry.merge_snapshot`.
@@ -20,9 +22,18 @@ deterministic, so ``run_dataset(..., workers=N)`` yields the same capture
 and reports for any ``N``.
 """
 
+from .env_cache import (
+    DEFAULT_ENV_CACHE_CAPACITY,
+    ENV_CACHE_ENV,
+    EnvironmentCache,
+    env_cache_capacity,
+    environment_fingerprint,
+)
 from .executor import (
     FAULT_CRASH,
     FAULT_HANG,
+    POOL_START_ENV,
+    pool_context,
     RuntimeConfig,
     RuntimeReport,
     ShardExecutor,
@@ -37,8 +48,15 @@ from .executor import (
 from .planner import Shard, ShardPlan, derive_shard_seed, plan_shards
 
 __all__ = [
+    "DEFAULT_ENV_CACHE_CAPACITY",
+    "ENV_CACHE_ENV",
+    "EnvironmentCache",
     "FAULT_CRASH",
     "FAULT_HANG",
+    "POOL_START_ENV",
+    "env_cache_capacity",
+    "environment_fingerprint",
+    "pool_context",
     "RuntimeConfig",
     "RuntimeReport",
     "Shard",

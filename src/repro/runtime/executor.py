@@ -29,6 +29,7 @@ counters, and a ``runtime.worker_utilization`` gauge (busy seconds over
 from __future__ import annotations
 
 import logging
+import multiprocessing
 import os
 import time
 from concurrent.futures import ProcessPoolExecutor
@@ -44,6 +45,29 @@ logger = logging.getLogger("repro.runtime")
 
 #: Environment variable giving the default worker count (default 1 = serial).
 WORKERS_ENV = "REPRO_WORKERS"
+
+#: Environment variable selecting the multiprocessing start method for the
+#: shard pool.  Defaults to ``fork`` where available so workers inherit the
+#: parent's pre-warmed environment cache (see
+#: :mod:`repro.runtime.env_cache`); ``spawn``/``forkserver`` still work —
+#: each worker then builds once and reuses across its own shards.
+POOL_START_ENV = "REPRO_POOL_START"
+
+
+def pool_context():
+    """The multiprocessing context for shard pools (fork-preferring)."""
+    available = multiprocessing.get_all_start_methods()
+    requested = os.environ.get(POOL_START_ENV)
+    if requested:
+        if requested not in available:
+            raise ValueError(
+                f"{POOL_START_ENV}={requested!r} not available "
+                f"(choose from {available})"
+            )
+        return multiprocessing.get_context(requested)
+    if "fork" in available:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
 
 #: Injected-fault modes (testing hooks; see :attr:`RuntimeConfig.inject_faults`).
 FAULT_CRASH = "crash"
@@ -226,7 +250,9 @@ class ShardExecutor:
         if not tasks:
             raise ValueError("no shard tasks to submit")
         workers = min(self.config.workers, len(tasks))
-        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._pool = ProcessPoolExecutor(
+            max_workers=workers, mp_context=pool_context()
+        )
         self._submitted_at = time.perf_counter()
         for task in tasks:
             fault = self.config.inject_faults.get(task.shard_index)

@@ -12,18 +12,63 @@ A :class:`ServerSet` models a vantage point's NS set (e.g. `.nl`'s servers
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import math
+import os
+from dataclasses import dataclass, field, replace as dc_replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..capture import CaptureStore, QueryRecord, Transport
+from ..capture import CaptureStore, QueryRecord, Transport, split_address
 from ..dnscore import Message, Name, RCode, RRType
 from ..dnscore.edns import EdnsRecord, effective_udp_limit
+from ..dnscore.rdata import ResourceRecord
+from ..dnscore.message import Flags
 from ..netsim import IPAddress, LatencyModel, Site, nearest_site
 from ..zones import LookupOutcome, Zone
 from .rrl import RateLimiter, RRLConfig
 
 #: Maximum TCP message size (2-octet length prefix bound).
 TCP_MAX_SIZE = 65535
+
+#: Environment variable disabling the response-plan cache (``0`` = off).
+PLAN_CACHE_ENV = "REPRO_PLAN_CACHE"
+
+#: Distinct response plans retained per server before the cache is flushed
+#: wholesale (epoch eviction — the plan population is zone-bounded, so a
+#: flush only happens under adversarial key churn).
+PLAN_CACHE_LIMIT = 65536
+
+_NAN = math.nan
+
+
+def plan_cache_enabled() -> bool:
+    """Whether servers memoise response plans (``REPRO_PLAN_CACHE``, on by
+    default; set ``0`` to force every query down the full build/encode
+    path)."""
+    return os.environ.get(PLAN_CACHE_ENV, "1") != "0"
+
+
+@dataclass(slots=True)
+class ResponsePlan:
+    """Memoised outcome of one ``(question, transport, EDNS profile)``.
+
+    Everything here is a pure function of the (immutable-during-simulation)
+    zone content plus the cache key, so a plan computed once answers every
+    steady-state repeat of the same question without Message construction,
+    zone lookup, or wire encoding.  The section lists are shared by every
+    replayed response and must be treated as read-only by callers.
+    """
+
+    qname_labels: Tuple[bytes, ...]   #: exact spelling the plan was built from
+    qname_text: str
+    qtype: int
+    flags: Flags                      #: post-truncation header flags
+    edns: Optional[EdnsRecord]
+    answers: List[ResourceRecord]
+    authorities: List[ResourceRecord]
+    additionals: List[ResourceRecord]
+    rcode: int
+    wire_size: int
+    truncated: bool
 
 
 @dataclass
@@ -34,6 +79,9 @@ class ServerStats:
     truncated: int = 0
     rrl_dropped: int = 0
     rrl_slipped: int = 0
+    plan_hits: int = 0        #: queries answered from the response-plan cache
+    plan_misses: int = 0      #: queries that built (and cached) a fresh plan
+    plan_evictions: int = 0   #: wholesale plan-cache flushes (epoch eviction)
     by_rcode: Dict[int, int] = field(default_factory=dict)
 
 
@@ -71,12 +119,29 @@ class AuthoritativeServer:
         self.sites = list(sites)
         self.capture = capture
         self.stats = ServerStats()
+        self._rrl_config = rrl
         self._limiter = RateLimiter(rrl) if rrl is not None else None
         self._catchment_cache: Dict[str, Site] = {}
+        self._plans: Optional[Dict[tuple, ResponsePlan]] = (
+            {} if plan_cache_enabled() else None
+        )
         #: When False, the server answers nothing (models a DoS outage —
         #: the paper's motivating scenario, section 1).  Queries sent to an
         #: offline server time out at the resolver; nothing is captured.
         self.online = True
+
+    def reset_session(self) -> None:
+        """Restore pristine constructed state (environment-cache reuse).
+
+        Pure memos survive on purpose: the anycast catchment cache and the
+        response-plan cache depend only on the immutable zone content and
+        site geometry, so keeping them warm across sessions is free speedup
+        with no observable difference from a fresh build.
+        """
+        self.stats = ServerStats()
+        self.online = True
+        if self._rrl_config is not None:
+            self._limiter = RateLimiter(self._rrl_config)
 
     @property
     def is_anycast(self) -> bool:
@@ -114,6 +179,18 @@ class AuthoritativeServer:
             metrics.gauge("rrl.tracked_prefixes", **label).set(
                 self._limiter.tracked_prefixes
             )
+        if self._plans is not None:
+            # ``runtime.`` prefix: cache telemetry is an execution-strategy
+            # detail, excluded from serial-vs-pool simulation-counter parity.
+            metrics.counter("runtime.plan_cache.hits", **label).inc(
+                self.stats.plan_hits
+            )
+            metrics.counter("runtime.plan_cache.misses", **label).inc(
+                self.stats.plan_misses
+            )
+            metrics.counter("runtime.plan_cache.evictions", **label).inc(
+                self.stats.plan_evictions
+            )
 
     def catchment_site(self, client_site: Site) -> Site:
         """Which anycast instance a client at ``client_site`` reaches."""
@@ -145,8 +222,9 @@ class AuthoritativeServer:
             return None
 
         question = query.question
-        response = self._build_response(query)
 
+        # RRL verdicts depend on mutable limiter state, so they are decided
+        # before — and never served from or stored into — the plan cache.
         if self._limiter is not None and transport is Transport.UDP:
             verdict = self._limiter.check(src, timestamp)
             if verdict == RateLimiter.DROP:
@@ -154,11 +232,54 @@ class AuthoritativeServer:
                 return None
             if verdict == RateLimiter.SLIP:
                 self.stats.rrl_slipped += 1
-                response = query.make_response_skeleton()
-                response.flags = type(response.flags)(
+                slipped = query.make_response_skeleton()
+                slipped.flags = Flags(
                     qr=True, aa=True, tc=True, rd=query.flags.rd
                 )
+                return self._finish_response(
+                    timestamp, src, transport, query, slipped, tcp_rtt_ms,
+                    plan_key=None,
+                )
 
+        plan_key = None
+        if self._plans is not None:
+            edns = query.edns
+            plan_key = (
+                question.qname,
+                int(question.qtype),
+                -1 if edns is None else edns.udp_payload_size,
+                edns is not None and edns.dnssec_ok,
+                transport is Transport.TCP,
+                query.flags.rd,
+                int(query.flags.opcode),
+            )
+            plan = self._plans.get(plan_key)
+            # Name keys compare case-insensitively (RFC 1035); replay only
+            # for the exact spelling the plan was built from so captured
+            # qname text stays bit-identical to the uncached path.
+            if plan is not None and plan.qname_labels == question.qname.labels:
+                return self._replay_plan(
+                    plan, timestamp, src, transport, query, tcp_rtt_ms
+                )
+
+        response = self._build_response(query)
+        return self._finish_response(
+            timestamp, src, transport, query, response, tcp_rtt_ms, plan_key
+        )
+
+    def _finish_response(
+        self,
+        timestamp: float,
+        src: IPAddress,
+        transport: Transport,
+        query: Message,
+        response: Message,
+        tcp_rtt_ms: Optional[float],
+        plan_key: Optional[tuple],
+    ) -> Message:
+        """Truncate/encode one built response, account + capture it, and —
+        when ``plan_key`` is given — memoise the outcome for replay."""
+        question = query.question
         limit = (
             effective_udp_limit(query.edns)
             if transport is Transport.UDP
@@ -167,42 +288,111 @@ class AuthoritativeServer:
         wire = response.to_wire()
         if len(wire) > limit:
             # Truncate: strip records, set TC, and let the client retry TCP.
-            from dataclasses import replace as _replace
-
             sent = query.make_response_skeleton()
-            sent.flags = _replace(response.flags, tc=True)
+            sent.flags = dc_replace(response.flags, tc=True)
             sent.edns = response.edns
             wire = sent.to_wire()
         else:
             sent = response
 
-        self.stats.queries += 1
-        if sent.is_truncated():
-            self.stats.truncated += 1
-        self.stats.by_rcode[int(sent.rcode)] = (
-            self.stats.by_rcode.get(int(sent.rcode), 0) + 1
-        )
+        stats = self.stats
+        stats.queries += 1
+        truncated = sent.is_truncated()
+        if truncated:
+            stats.truncated += 1
+        rcode = int(sent.rcode)
+        stats.by_rcode[rcode] = stats.by_rcode.get(rcode, 0) + 1
 
+        qname_text = question.qname.to_text()
+        edns = query.edns
         if self.capture is not None:
-            self.capture.append(
-                QueryRecord(
-                    timestamp=timestamp,
-                    server_id=self.server_id,
-                    src=src,
-                    transport=transport,
-                    qname=question.qname.to_text(),
-                    qtype=int(question.qtype),
-                    rcode=int(sent.rcode),
-                    edns_bufsize=(
-                        query.edns.udp_payload_size if query.edns is not None else 0
-                    ),
-                    do_bit=query.edns.dnssec_ok if query.edns is not None else False,
-                    response_size=len(wire),
-                    truncated=sent.is_truncated(),
-                    tcp_rtt_ms=tcp_rtt_ms,
-                )
+            family, hi, lo = split_address(src)
+            self.capture.append_row((
+                timestamp,
+                self.server_id,
+                family,
+                hi,
+                lo,
+                int(transport),
+                qname_text,
+                int(question.qtype),
+                rcode,
+                edns.udp_payload_size if edns is not None else 0,
+                edns.dnssec_ok if edns is not None else False,
+                len(wire),
+                truncated,
+                _NAN if tcp_rtt_ms is None else tcp_rtt_ms,
+            ))
+
+        if plan_key is not None:
+            plans = self._plans
+            stats.plan_misses += 1
+            if len(plans) >= PLAN_CACHE_LIMIT:
+                plans.clear()
+                stats.plan_evictions += 1
+            plans[plan_key] = ResponsePlan(
+                qname_labels=question.qname.labels,
+                qname_text=qname_text,
+                qtype=int(question.qtype),
+                flags=sent.flags,
+                edns=sent.edns,
+                answers=sent.answers,
+                authorities=sent.authorities,
+                additionals=sent.additionals,
+                rcode=rcode,
+                wire_size=len(wire),
+                truncated=truncated,
             )
         return sent
+
+    def _replay_plan(
+        self,
+        plan: ResponsePlan,
+        timestamp: float,
+        src: IPAddress,
+        transport: Transport,
+        query: Message,
+        tcp_rtt_ms: Optional[float],
+    ) -> Message:
+        """Answer from a memoised plan: cheap counter bumps, one raw
+        capture-row append, and a fresh Message wrapper that echoes the
+        query's id while sharing the plan's (read-only) section lists."""
+        stats = self.stats
+        stats.plan_hits += 1
+        stats.queries += 1
+        if plan.truncated:
+            stats.truncated += 1
+        stats.by_rcode[plan.rcode] = stats.by_rcode.get(plan.rcode, 0) + 1
+
+        if self.capture is not None:
+            edns = query.edns
+            family, hi, lo = split_address(src)
+            self.capture.append_row((
+                timestamp,
+                self.server_id,
+                family,
+                hi,
+                lo,
+                int(transport),
+                plan.qname_text,
+                plan.qtype,
+                plan.rcode,
+                edns.udp_payload_size if edns is not None else 0,
+                edns.dnssec_ok if edns is not None else False,
+                plan.wire_size,
+                plan.truncated,
+                _NAN if tcp_rtt_ms is None else tcp_rtt_ms,
+            ))
+
+        return Message(
+            msg_id=query.msg_id,
+            flags=plan.flags,
+            questions=list(query.questions),
+            answers=plan.answers,
+            authorities=plan.authorities,
+            additionals=plan.additionals,
+            edns=plan.edns,
+        )
 
     def _build_response(self, query: Message) -> Message:
         question = query.question

@@ -36,6 +36,7 @@ import os
 import time
 import zlib
 from dataclasses import dataclass, field, replace as dc_replace
+from functools import lru_cache
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
@@ -57,12 +58,14 @@ from ..resolver import (
     SyntheticLeafAuthority,
 )
 from ..runtime import (
+    EnvironmentCache,
     RuntimeConfig,
     RuntimeReport,
     ShardExecutor,
     ShardOutcome,
     ShardResult,
     ShardTask,
+    environment_fingerprint,
     plan_shards,
     resolve_runtime_config,
 )
@@ -284,7 +287,91 @@ def build_environment(
     )
 
 
+# -- worker-persistent environment reuse ------------------------------------------
+
+#: Process-local parking lot for built environments, shared by every shard a
+#: worker executes (see :mod:`repro.runtime.env_cache` for the safety
+#: argument).  Fork-started pool workers inherit the parent's deposits.
+_ENV_CACHE = EnvironmentCache()
+
+
+def reset_environment(env: SimEnvironment) -> None:
+    """Rewind a previously-used environment to its freshly-built state.
+
+    Everything a simulation run mutates is reset — capture rows, server and
+    resolver session state, fault-injector stats.  Pure memoised structures
+    (latency model, anycast catchments, zone content, response plans, the
+    leaf authority) are deterministic functions of the build inputs and
+    survive untouched.
+    """
+    env.capture.clear()
+    for server_set in env.server_sets.values():
+        for server in server_set:
+            server.reset_session()
+    for member in env.fleet:
+        member.resolver.reset_session()
+    if env.network.faults is not None:
+        env.network.faults.reset_session()
+
+
+def acquire_environment(
+    descriptor: DatasetDescriptor, seed: int, metrics: MetricsRegistry
+) -> SimEnvironment:
+    """A ready-to-run environment for ``(descriptor, seed)``: reused from
+    the process cache when possible (reset under the ``env_reset`` phase),
+    built from scratch otherwise."""
+    fingerprint = environment_fingerprint(descriptor, seed)
+    env = _ENV_CACHE.acquire(fingerprint)
+    if env is not None:
+        metrics.counter("runtime.env_cache.hit").inc()
+        with metrics.time_phase("env_reset"):
+            reset_environment(env)
+        return env
+    metrics.counter("runtime.env_cache.miss").inc()
+    return build_environment(descriptor, seed, metrics)
+
+
+def release_environment(env: SimEnvironment, pinned_pid: Optional[int] = None) -> None:
+    """Park an environment for reuse by the next shard (or, when
+    ``pinned_pid`` is set, by forked children only — the pool parent
+    pre-warms the cache this way without ever consuming its own deposit)."""
+    _ENV_CACHE.release(
+        environment_fingerprint(env.descriptor, env.seed), env, pinned_pid
+    )
+
+
 # -- telemetry aggregation -------------------------------------------------------
+
+#: ``(counter name, ResolverStats attribute)`` pairs rolled up per provider.
+#: ``resolver.retry.timeouts`` intentionally republishes ``drops`` — every
+#: drop costs one timeout wait.
+_FLEET_COUNTERS = (
+    ("resolver.client_queries", "client_queries"),
+    ("resolver.auth_queries", "auth_queries"),
+    ("resolver.tcp_retries", "tcp_retries"),
+    ("resolver.servfails", "servfails"),
+    ("resolver.drops", "drops"),
+    ("resolver.cache_hits", "cache_hits"),
+    ("resolver.cache_misses", "cache_misses"),
+    ("resolver.retry.timeouts", "drops"),
+    ("resolver.retry.retransmits", "retransmits"),
+    ("resolver.retry.failovers", "failovers"),
+    ("resolver.retry.exhausted", "retry_exhausted"),
+    ("resolver.retry.stale_served", "stale_served"),
+)
+
+_FLEET_ATTRS = tuple(dict.fromkeys(attr for _, attr in _FLEET_COUNTERS))
+
+
+@lru_cache(maxsize=None)
+def _qtype_label(qtype: int) -> str:
+    """Memoised qtype → counter-label text (the enum lookup raises on
+    unknown types, which makes it surprisingly costly to call per member)."""
+    try:
+        return RRType(qtype).name
+    except ValueError:
+        return str(qtype)
+
 
 def publish_fleet_metrics(metrics: MetricsRegistry, fleet: Iterable) -> None:
     """Roll every fleet member's :class:`~repro.resolver.engine.ResolverStats`
@@ -293,28 +380,28 @@ def publish_fleet_metrics(metrics: MetricsRegistry, fleet: Iterable) -> None:
     ``fleet`` needs only ``.provider`` and ``.resolver.stats`` attributes,
     so tests can feed stripped-down stand-ins.  Sharded runs pass each
     shard's member slice so worker-side publishes never double-count.
+
+    Sums are accumulated per provider in plain dicts first and the registry
+    (label-dict key construction, counter lookup) is touched once per
+    provider rather than once per member — fleets run to thousands of
+    members but only a handful of providers.
     """
+    provider_sums: Dict[str, Dict[str, int]] = {}
+    qtype_sums: Dict[int, int] = {}
     for member in fleet:
         stats = member.resolver.stats
-        label = {"provider": member.provider}
-        metrics.counter("resolver.client_queries", **label).inc(stats.client_queries)
-        metrics.counter("resolver.auth_queries", **label).inc(stats.auth_queries)
-        metrics.counter("resolver.tcp_retries", **label).inc(stats.tcp_retries)
-        metrics.counter("resolver.servfails", **label).inc(stats.servfails)
-        metrics.counter("resolver.drops", **label).inc(stats.drops)
-        metrics.counter("resolver.cache_hits", **label).inc(stats.cache_hits)
-        metrics.counter("resolver.cache_misses", **label).inc(stats.cache_misses)
-        metrics.counter("resolver.retry.timeouts", **label).inc(stats.drops)
-        metrics.counter("resolver.retry.retransmits", **label).inc(stats.retransmits)
-        metrics.counter("resolver.retry.failovers", **label).inc(stats.failovers)
-        metrics.counter("resolver.retry.exhausted", **label).inc(stats.retry_exhausted)
-        metrics.counter("resolver.retry.stale_served", **label).inc(stats.stale_served)
+        sums = provider_sums.get(member.provider)
+        if sums is None:
+            sums = provider_sums[member.provider] = dict.fromkeys(_FLEET_ATTRS, 0)
+        for attr in _FLEET_ATTRS:
+            sums[attr] += getattr(stats, attr)
         for qtype, count in stats.by_qtype.items():
-            try:
-                qtype_name = RRType(qtype).name
-            except ValueError:
-                qtype_name = str(qtype)
-            metrics.counter("resolver.sends", qtype=qtype_name).inc(count)
+            qtype_sums[qtype] = qtype_sums.get(qtype, 0) + count
+    for provider, sums in provider_sums.items():
+        for counter_name, attr in _FLEET_COUNTERS:
+            metrics.counter(counter_name, provider=provider).inc(sums[attr])
+    for qtype, count in sorted(qtype_sums.items()):
+        metrics.counter("resolver.sends", qtype=_qtype_label(qtype)).inc(count)
 
 
 def publish_server_metrics(
@@ -377,6 +464,9 @@ def run_member_range(
     interval = progress_interval_s()
     loop_started = time.perf_counter()
     last_progress = loop_started
+    # Counter handles resolved once per provider, not once per member —
+    # label-dict construction and registry lookup are off the member loop.
+    provider_counters: Dict[str, object] = {}
     for index in range(start, stop):
         member = env.fleet[index]
         count = int(round(total_queries * member.weight / total_weight))
@@ -393,9 +483,11 @@ def run_member_range(
             storm_domains=env.storm_domains,
             storm_fraction=storm_fraction,
         )
-        provider_counter = metrics.counter(
-            "sim.client_queries", provider=member.provider
-        )
+        provider_counter = provider_counters.get(member.provider)
+        if provider_counter is None:
+            provider_counter = provider_counters[member.provider] = metrics.counter(
+                "sim.client_queries", provider=member.provider
+            )
         resolve = member.resolver.resolve
         network = env.network
         while True:
@@ -425,17 +517,21 @@ def run_member_range(
 
 
 def simulate_shard(task: ShardTask) -> ShardResult:
-    """Build the world and resolve one shard's member range.
+    """Build (or reuse) the world and resolve one shard's member range.
 
     Runs inside pool workers (via
     :func:`repro.runtime.execute_shard_task`) and in the parent for serial
-    fallbacks.  Returns only picklable payloads: raw capture rows and a
-    telemetry snapshot.
+    fallbacks.  Environments come from the worker-persistent cache, so N
+    shards of one dataset in one worker pay for a single
+    ``build_environment``.  Returns only picklable payloads: raw capture
+    rows and a telemetry snapshot.  Releasing before return is safe — the
+    returned row list survives the next acquire's reset because
+    :meth:`~repro.capture.CaptureStore.clear` swaps in a fresh list.
     """
     started = time.perf_counter()
     descriptor = task.descriptor
     metrics = MetricsRegistry()
-    env = build_environment(descriptor, task.seed, metrics)
+    env = acquire_environment(descriptor, task.seed, metrics)
     stop = len(env.fleet) if task.stop is None else task.stop
     total_queries = (
         descriptor.client_queries
@@ -447,7 +543,7 @@ def simulate_shard(task: ShardTask) -> ShardResult:
         metrics, env.fleet[task.start:stop], env.server_sets, env.capture,
         fleet_size=len(env.fleet), faults=env.network.faults,
     )
-    return ShardResult(
+    result = ShardResult(
         shard_index=task.shard_index,
         rows=env.capture.raw_rows(),
         rows_appended=env.capture.rows_appended,
@@ -455,6 +551,8 @@ def simulate_shard(task: ShardTask) -> ShardResult:
         telemetry=metrics.snapshot(),
         duration_s=time.perf_counter() - started,
     )
+    release_environment(env)
+    return result
 
 
 # -- the entry point -------------------------------------------------------------
@@ -523,6 +621,10 @@ def run_dataset(
             )
             for shard in plan
         ]
+        # Pre-warm the cache the fork-started workers inherit: the parent's
+        # just-built environment, pinned so the parent itself can never
+        # consume it (this env is aliased into the returned DatasetRun).
+        release_environment(env, pinned_pid=os.getpid())
         executor = ShardExecutor(config, metrics)
         with metrics.time_phase("runtime.execute"):
             executor.submit(tasks)

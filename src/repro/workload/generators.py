@@ -138,19 +138,31 @@ class WorkloadGenerator:
         self._subname_probs = np.array([p for __, p in SUBNAME_CHOICES])
         self._subname_probs /= self._subname_probs.sum()
         self._base_seed = seed
+        self._vantage_suffix = (
+            Name.from_text(vantage) if vantage != "root" else None
+        )
+        # (domain rank, subname) → Name memo.  The Zipf head repeats the
+        # same few thousand combinations constantly; interning them also
+        # lets every layer downstream share one immutable Name instance
+        # (and its cached wire/text forms) per distinct query name.
+        self._legit_names: dict = {}
 
     # -- name construction ------------------------------------------------------
 
     def _cctld_legit_name(self, rng: np.random.Generator) -> Name:
         rank = self._domain_sampler.sample(rng)
-        domain = self.domains[rank]
         sub = self._subnames[int(rng.choice(len(self._subnames), p=self._subname_probs))]
-        return domain if not sub else domain.prepend(sub.encode())
+        key = (rank, sub)
+        name = self._legit_names.get(key)
+        if name is None:
+            domain = self.domains[rank]
+            name = domain if not sub else domain.prepend(sub.encode())
+            self._legit_names[key] = name
+        return name
 
     def _cctld_junk_name(self, rng: np.random.Generator) -> Name:
         label = _random_labels(rng, 1)[0]
-        suffix = Name.from_text(self.vantage)
-        return suffix.prepend(label.encode())
+        return self._vantage_suffix.prepend(label.encode())
 
     def _root_legit_name(self, rng: np.random.Generator) -> Name:
         tld = self.tld_names[self._tld_sampler.sample(rng)]

@@ -1,0 +1,262 @@
+"""Tests for the hot-path caches (ISSUE 4): worker-persistent environments
+and response-plan caching.
+
+The contract under test is the same one the sharded runtime established:
+caching is an execution detail and must be *invisible* in the results —
+captures stay bit-identical to the uncached path, serially, on a pool, and
+under a chaos plan.
+"""
+
+import os
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+import repro.server.authoritative as authoritative
+from repro.capture import CaptureStore, Transport
+from repro.dnscore import Message, Name, RRType
+from repro.faults import chaos_scenario
+from repro.netsim import GAZETTEER, IPAddress
+from repro.runtime import EnvironmentCache, ShardTask, environment_fingerprint
+from repro.server import AuthoritativeServer
+from repro.sim import run_dataset
+from repro.sim.driver import simulate_shard
+from repro.workload import dataset
+from repro.zones import Zone
+
+DATASET = "nz-w2018"
+QUERIES = 600
+SEED = 20201027
+SRC = IPAddress.parse("192.0.2.53")
+
+
+def assert_views_equal(a, b):
+    assert len(a) == len(b)
+    for name in a.__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        equal_nan = name == "tcp_rtt_ms"
+        assert np.array_equal(x, y, equal_nan=equal_nan), f"column {name} differs"
+
+
+@pytest.fixture
+def force_caches(monkeypatch):
+    """Make cache-behaviour tests immune to REPRO_PLAN_CACHE=0 /
+    REPRO_ENV_CACHE=0 in the outer environment (CI runs the suite with the
+    caches force-disabled too)."""
+    monkeypatch.setenv("REPRO_PLAN_CACHE", "1")
+    monkeypatch.delenv("REPRO_ENV_CACHE", raising=False)
+
+
+def _uncached_serial(descriptor, monkeypatch):
+    monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+    try:
+        run = run_dataset(descriptor, seed=SEED, client_queries=QUERIES, workers=1)
+    finally:
+        monkeypatch.delenv("REPRO_PLAN_CACHE")
+    return run
+
+
+def _cached_shard(descriptor):
+    task = ShardTask(
+        descriptor=descriptor, seed=SEED, client_queries=QUERIES,
+        shard_index=0, shard_seed=0, start=0, stop=None,
+    )
+    result = simulate_shard(task)
+    store = CaptureStore.from_raw_rows(result.rows, result.rows_appended)
+    store.sort_canonical()
+    return result, store
+
+
+class TestBitIdentity:
+    def test_serial_cached_matches_uncached(self, monkeypatch, force_caches):
+        descriptor = dataset(DATASET)
+        uncached = _uncached_serial(descriptor, monkeypatch)
+
+        cold, cold_store = _cached_shard(descriptor)
+        warm, warm_store = _cached_shard(descriptor)
+
+        assert_views_equal(uncached.capture.view(), cold_store.view())
+        assert_views_equal(uncached.capture.view(), warm_store.view())
+        # The warm run really reused: environment from the cache, plans all hit.
+        counters = warm.telemetry.counters
+        assert sum(
+            v for k, v in counters.items() if "runtime.env_cache.hit" in str(k)
+        ) == 1
+        assert sum(
+            v for k, v in counters.items() if "runtime.plan_cache.misses" in str(k)
+        ) == 0
+
+    def test_pool_cached_matches_uncached(self, monkeypatch):
+        descriptor = dataset(DATASET)
+        uncached = _uncached_serial(descriptor, monkeypatch)
+        pooled = run_dataset(
+            descriptor, seed=SEED, client_queries=QUERIES, workers=2, shard_count=3
+        )
+        assert pooled.runtime_report.mode == "process-pool"
+        assert_views_equal(uncached.capture.view(), pooled.capture.view())
+
+    def test_chaos_plan_cached_matches_uncached(self, monkeypatch):
+        """Fault verdicts are resolver-side and hash-based; neither the
+        plan cache nor environment reuse may change what gets dropped."""
+        descriptor = replace(
+            dataset(DATASET), fault_plan=chaos_scenario("heavy-loss")
+        )
+        uncached = _uncached_serial(descriptor, monkeypatch)
+        cold, cold_store = _cached_shard(descriptor)
+        warm, warm_store = _cached_shard(descriptor)
+        assert_views_equal(uncached.capture.view(), cold_store.view())
+        assert_views_equal(uncached.capture.view(), warm_store.view())
+
+
+def _zone():
+    zone = Zone(Name.from_text("nl"), signed=True)
+    zone.add_delegation(
+        Name.from_text("example.nl"),
+        [Name.from_text("ns1.hoster.net")],
+        secure=True,
+    )
+    return zone
+
+
+def _server(**kwargs):
+    return AuthoritativeServer(
+        "nl-a", _zone(), [GAZETTEER["AMS"]], capture=CaptureStore(), **kwargs
+    )
+
+
+def _query(qname, msg_id=7):
+    return Message.make_query(Name.from_text(qname), RRType.A, msg_id=msg_id)
+
+
+class TestPlanCache:
+    def test_hit_replays_equivalent_response(self, force_caches):
+        server = _server()
+        first = server.handle_query(1.0, SRC, Transport.UDP, _query("www.example.nl"))
+        second = server.handle_query(
+            2.0, SRC, Transport.UDP, _query("www.example.nl", msg_id=9)
+        )
+        assert server.stats.plan_hits == 1
+        assert second.msg_id == 9  # echoes the query, not the cached plan
+        assert second.rcode == first.rcode
+        assert [r.to_text() for r in second.authorities] == [
+            r.to_text() for r in first.authorities
+        ]
+        view = server.capture.view()
+        assert list(view.qname) == ["www.example.nl."] * 2
+        assert view.response_size[0] == view.response_size[1]
+
+    def test_case_variant_is_not_replayed(self, force_caches):
+        """Name keys casefold; the capture must keep each query's original
+        spelling, so a case variant falls through to the uncached path."""
+        server = _server()
+        server.handle_query(1.0, SRC, Transport.UDP, _query("www.example.nl"))
+        server.handle_query(2.0, SRC, Transport.UDP, _query("WWW.Example.NL"))
+        assert server.stats.plan_hits == 0
+        assert list(server.capture.view().qname) == [
+            "www.example.nl.", "WWW.Example.NL.",
+        ]
+
+    def test_eviction_bound(self, monkeypatch, force_caches):
+        monkeypatch.setattr(authoritative, "PLAN_CACHE_LIMIT", 4)
+        server = _server()
+        for i in range(6):
+            server.handle_query(
+                float(i), SRC, Transport.UDP, _query(f"host{i}.example.nl")
+            )
+        assert server.stats.plan_evictions >= 1
+        # Still answers correctly after the flush.
+        response = server.handle_query(
+            9.0, SRC, Transport.UDP, _query("host0.example.nl")
+        )
+        assert response is not None
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_PLAN_CACHE", "0")
+        server = _server()
+        assert server._plans is None
+        server.handle_query(1.0, SRC, Transport.UDP, _query("www.example.nl"))
+        server.handle_query(2.0, SRC, Transport.UDP, _query("www.example.nl"))
+        assert server.stats.plan_hits == 0
+        assert server.stats.plan_misses == 0
+
+    def test_reset_session_keeps_plans_but_zeroes_stats(self, force_caches):
+        server = _server()
+        server.handle_query(1.0, SRC, Transport.UDP, _query("www.example.nl"))
+        server.handle_query(2.0, SRC, Transport.UDP, _query("www.example.nl"))
+        assert server.stats.queries == 2
+        server.reset_session()
+        assert server.stats.queries == 0
+        assert len(server.capture) == 2  # capture is reset by the driver, not here
+        # Plans survive (pure memo over the immutable zone): first query
+        # after reset is already a hit.
+        server.handle_query(3.0, SRC, Transport.UDP, _query("www.example.nl"))
+        assert server.stats.plan_hits == 1
+
+
+class TestEnvironmentCache:
+    def test_acquire_pops_exclusively(self):
+        cache = EnvironmentCache(capacity=4)
+        cache.release("fp", "env")
+        assert cache.acquire("fp") == "env"
+        assert cache.acquire("fp") is None  # popped: second acquire misses
+        assert cache.hits == 1
+        assert cache.misses == 1
+
+    def test_pinned_deposit_is_invisible_to_its_own_process(self):
+        cache = EnvironmentCache(capacity=4)
+        cache.release("fp", "env", pinned_pid=os.getpid())
+        assert cache.acquire("fp") is None  # own pid: guarded
+        assert cache.misses == 1
+        cache.release("fp", "env2")  # unpinned redeposit replaces it
+        assert cache.acquire("fp") == "env2"
+
+    def test_pinned_to_other_process_is_acquirable(self):
+        cache = EnvironmentCache(capacity=4)
+        cache.release("fp", "env", pinned_pid=os.getpid() + 1)
+        assert cache.acquire("fp") == "env"
+
+    def test_capacity_evicts_oldest(self):
+        cache = EnvironmentCache(capacity=2)
+        cache.release("a", 1)
+        cache.release("b", 2)
+        cache.release("c", 3)
+        assert cache.evictions == 1
+        assert cache.acquire("a") is None
+        assert cache.acquire("b") == 2
+        assert cache.acquire("c") == 3
+
+    def test_capacity_zero_disables(self):
+        cache = EnvironmentCache(capacity=0)
+        cache.release("fp", "env")
+        assert len(cache) == 0
+        assert cache.acquire("fp") is None
+
+
+class TestFingerprint:
+    def test_stable_for_identical_inputs(self):
+        descriptor = dataset(DATASET)
+        assert environment_fingerprint(descriptor, SEED) == environment_fingerprint(
+            dataset(DATASET), SEED
+        )
+
+    def test_seed_and_descriptor_fields_distinguish(self):
+        descriptor = dataset(DATASET)
+        base = environment_fingerprint(descriptor, SEED)
+        assert environment_fingerprint(descriptor, SEED + 1) != base
+        assert environment_fingerprint(
+            replace(descriptor, client_queries=descriptor.client_queries + 1), SEED
+        ) != base
+        assert environment_fingerprint(
+            replace(descriptor, fault_plan=chaos_scenario("heavy-loss")), SEED
+        ) != base
+
+    def test_chaos_scenarios_distinguish(self):
+        descriptor = dataset(DATASET)
+        a = environment_fingerprint(
+            replace(descriptor, fault_plan=chaos_scenario("heavy-loss")), SEED
+        )
+        b = environment_fingerprint(
+            replace(descriptor, fault_plan=chaos_scenario("default-loss")), SEED
+        )
+        assert a != b
