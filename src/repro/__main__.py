@@ -20,6 +20,13 @@ the simulation under a named fault schedule (``--chaos-seed`` varies the
 fault placement independently of ``--seed``; the ``REPRO_CHAOS`` env var
 sets the default scenario).  ``repro dataset`` exits non-zero when any
 shard failed outright unless ``--allow-partial`` is given.
+
+Streaming flags (see README "Streaming mode"): ``--stream`` folds each
+capture into single-pass aggregates plus a chunked on-disk spool instead
+of holding rows in memory (``REPRO_STREAM`` sets the default);
+``--spool-dir DIR`` keeps the chunk files under ``DIR/<dataset_id>/``
+rather than a self-cleaning temp dir.  Answers are bit-identical to the
+in-memory path.
 """
 
 from __future__ import annotations
@@ -111,7 +118,7 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
-    from .analysis import Attributor, cloud_share, dataset_summary, provider_shares
+    from .analysis import Attributor, StreamingAnalytics, ViewAnalytics
     from .clouds import PROVIDERS
     from .experiments import configured_scale
     from .sim import run_dataset
@@ -125,14 +132,24 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     volume = int(descriptor.client_queries * scale)
     print(f"simulating {args.dataset_id} ({volume} client queries)...", file=sys.stderr)
     run = run_dataset(
-        descriptor, client_queries=volume, seed=args.seed, workers=args.workers
+        descriptor, client_queries=volume, seed=args.seed, workers=args.workers,
+        stream=args.stream, spool_dir=args.spool_dir,
     )
     if run.runtime_report is not None:
         print(f"runtime: {run.runtime_report.summary()}", file=sys.stderr)
     partial_exit = _check_partial(run.runtime_report, args.allow_partial)
-    view = run.capture.view()
-    attribution = Attributor(run.registry, PROVIDERS).attribute(view)
-    summary = dataset_summary(view, attribution)
+    if run.aggregates is not None:
+        analytics = StreamingAnalytics(run.aggregates)
+        print(
+            f"analysis mode: streaming ({len(run.capture)} rows spooled)",
+            file=sys.stderr,
+        )
+    else:
+        view = run.capture.view()
+        analytics = ViewAnalytics(
+            view, Attributor(run.registry, PROVIDERS).attribute(view)
+        )
+    summary = analytics.dataset_summary()
     telemetry = run.telemetry
     print(f"captured queries : {summary.queries_total}")
     print(f"valid fraction   : {summary.valid_fraction:.3f}")
@@ -149,10 +166,10 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         print(f"  retransmits    : {telemetry.total('resolver.retry.retransmits')}")
         print(f"  failovers      : {telemetry.total('resolver.retry.failovers')}")
         print(f"  stale served   : {telemetry.total('resolver.retry.stale_served')}")
-    shares = provider_shares(view, attribution, PROVIDERS)
+    shares = analytics.provider_shares(PROVIDERS)
     for provider, share in shares.items():
         print(f"{provider:<11}      : {share:.3f}")
-    print(f"all 5 CPs        : {cloud_share(view, attribution, PROVIDERS):.3f}")
+    print(f"all 5 CPs        : {analytics.cloud_share(PROVIDERS):.3f}")
     if args.out:
         from .capture import write_csv
 
@@ -169,7 +186,11 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
     ctx = ExperimentContext(
         scale=args.scale, seed=args.seed, workers=args.workers,
         fault_plan=_resolve_chaos(args),
+        stream=args.stream, spool_dir=args.spool_dir,
     )
+    if ctx.stream:
+        print("streaming mode: single-pass aggregates + capture spool",
+              file=sys.stderr)
     content = run_and_render(ctx=ctx)
     if args.write:
         with open(args.write, "w") as handle:
@@ -215,6 +236,14 @@ def main(argv=None) -> int:
     p_dataset.add_argument("--allow-partial", action="store_true",
                            help="exit 0 even when shards failed and the"
                                 " capture is incomplete")
+    p_dataset.add_argument("--stream", action="store_const", const=True,
+                           default=None,
+                           help="streaming execution: fold the capture into"
+                                " single-pass aggregates + a chunked spool"
+                                " (default: REPRO_STREAM env)")
+    p_dataset.add_argument("--spool-dir", metavar="DIR", default=None,
+                           help="root directory for streaming spool chunks"
+                                " (default: a self-cleaning temp dir)")
     p_dataset.set_defaults(func=_cmd_dataset)
 
     p_exp = sub.add_parser("experiments", help="run all paper experiments")
@@ -235,6 +264,13 @@ def main(argv=None) -> int:
     p_exp.add_argument("--chaos-seed", type=int, default=None,
                        help="fault-placement seed (default: derived from"
                             " --seed)")
+    p_exp.add_argument("--stream", action="store_const", const=True,
+                       default=None,
+                       help="streaming execution for every dataset"
+                            " (default: REPRO_STREAM env)")
+    p_exp.add_argument("--spool-dir", metavar="DIR", default=None,
+                       help="root directory for streaming spool chunks"
+                            " (default: self-cleaning temp dirs)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_chaos = sub.add_parser("chaos", help="list chaos scenarios")

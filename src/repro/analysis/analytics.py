@@ -1,0 +1,319 @@
+"""Mode-agnostic analytics facade over one dataset's capture.
+
+Experiments ask an :class:`ExperimentContext` for a dataset's
+``analytics()`` and call metric methods on it; which backend answers
+depends on how the dataset was simulated:
+
+* :class:`ViewAnalytics` — the in-memory path: wraps a materialised
+  :class:`~repro.capture.CaptureView` plus its attribution and delegates
+  to the whole-view metric functions in this package;
+* :class:`StreamingAnalytics` — the out-of-core path: reads the
+  single-pass :class:`~repro.analysis.streaming.AggregateSet` folded
+  during simulation, never touching row data.
+
+The two backends are **bit-identical** for every method here: the
+streaming aggregators carry the same integer counts the whole-view
+functions would compute, and each finalising expression reproduces the
+in-memory arithmetic operation-for-operation (the golden-parity suite in
+``tests/test_streaming_parity.py`` locks this down).  Analyses with no
+aggregate form (the Facebook PTR/RTT join of Figure 5, the extension
+studies) keep using ``ctx.view()``, which a streaming run still serves by
+materialising from the spool.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from ..dnscore import RRType
+from . import edns, google_split as google_split_mod, metrics, qmin
+from .attribution import AttributionResult
+from .edns import BufsizeCDF
+from .google_split import GoogleSplit
+from .metrics import (
+    DEFAULT_RRTYPE_BUCKETS,
+    DatasetSummary,
+    InventoryRow,
+    TransportRow,
+)
+from .qmin import MonthlyPoint
+from .streaming import AggregateSet
+
+
+def _default_providers() -> tuple:
+    from ..clouds import PROVIDERS
+
+    return PROVIDERS
+
+
+class DatasetAnalytics:
+    """Common protocol of both analytics backends.
+
+    Every method that takes ``providers`` defaults it to the Table 1
+    provider list, matching how the experiment modules call the underlying
+    functions today.
+    """
+
+    #: "view" or "streaming" — surfaced in CLI/telemetry output.
+    mode = "abstract"
+
+    def provider_shares(self, providers: Optional[Sequence[str]] = None) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def cloud_share(self, providers: Optional[Sequence[str]] = None) -> float:
+        """Combined CP share; same order-of-summation as
+        :func:`~repro.analysis.metrics.cloud_share`."""
+        return float(sum(self.provider_shares(providers).values()))
+
+    def rrtype_mix(
+        self, provider: str, buckets: Sequence[RRType] = DEFAULT_RRTYPE_BUCKETS
+    ) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def junk_ratios(self, providers: Optional[Sequence[str]] = None) -> Dict[str, float]:
+        raise NotImplementedError
+
+    def overall_junk_ratio(self) -> float:
+        raise NotImplementedError
+
+    def transport_matrix(
+        self, providers: Optional[Sequence[str]] = None
+    ) -> List[TransportRow]:
+        raise NotImplementedError
+
+    def google_split(
+        self, public_prefixes: Optional[Sequence[str]] = None, provider: str = "Google"
+    ) -> GoogleSplit:
+        raise NotImplementedError
+
+    def bufsize_cdf(self, provider: str) -> BufsizeCDF:
+        raise NotImplementedError
+
+    def truncation_ratio(self, provider: str) -> float:
+        raise NotImplementedError
+
+    def truncation_table(
+        self, providers: Optional[Sequence[str]] = None
+    ) -> Dict[str, float]:
+        if providers is None:
+            providers = _default_providers()
+        return {p: self.truncation_ratio(p) for p in providers}
+
+    def tcp_share(self, provider: str) -> float:
+        raise NotImplementedError
+
+    def dataset_summary(self) -> DatasetSummary:
+        raise NotImplementedError
+
+    def resolver_inventory(self, provider: str) -> InventoryRow:
+        raise NotImplementedError
+
+    def ns_share(self, provider: str) -> float:
+        raise NotImplementedError
+
+    def minimized_fraction(
+        self, provider: str, zone_label_count: int, max_cut_depth: int = 1
+    ) -> float:
+        raise NotImplementedError
+
+    def monthly_point(self, provider: str, year: int, month: int) -> MonthlyPoint:
+        raise NotImplementedError
+
+
+class ViewAnalytics(DatasetAnalytics):
+    """In-memory backend: a frozen view + attribution, delegating to the
+    original whole-view metric functions."""
+
+    mode = "view"
+
+    def __init__(self, view, attribution: AttributionResult):
+        self.view = view
+        self.attribution = attribution
+
+    def provider_shares(self, providers=None):
+        providers = _default_providers() if providers is None else providers
+        return metrics.provider_shares(self.view, self.attribution, providers)
+
+    def rrtype_mix(self, provider, buckets=DEFAULT_RRTYPE_BUCKETS):
+        return metrics.rrtype_mix(self.view, self.attribution, provider, buckets)
+
+    def junk_ratios(self, providers=None):
+        providers = _default_providers() if providers is None else providers
+        return metrics.junk_ratios(self.view, self.attribution, providers)
+
+    def overall_junk_ratio(self):
+        return metrics.overall_junk_ratio(self.view)
+
+    def transport_matrix(self, providers=None):
+        providers = _default_providers() if providers is None else providers
+        return metrics.transport_matrix(self.view, self.attribution, providers)
+
+    def google_split(self, public_prefixes=None, provider="Google"):
+        if public_prefixes is None:
+            from ..clouds import GOOGLE_PUBLIC_DNS_PREFIXES
+
+            public_prefixes = GOOGLE_PUBLIC_DNS_PREFIXES
+        return google_split_mod.google_split(
+            self.view, self.attribution, public_prefixes, provider
+        )
+
+    def bufsize_cdf(self, provider):
+        return edns.bufsize_cdf(self.view, self.attribution, provider)
+
+    def truncation_ratio(self, provider):
+        return edns.truncation_ratio(self.view, self.attribution, provider)
+
+    def tcp_share(self, provider):
+        return edns.tcp_share(self.view, self.attribution, provider)
+
+    def dataset_summary(self):
+        return metrics.dataset_summary(self.view, self.attribution)
+
+    def resolver_inventory(self, provider):
+        return metrics.resolver_inventory(self.view, self.attribution, provider)
+
+    def ns_share(self, provider):
+        return qmin.ns_share(self.view, self.attribution, provider)
+
+    def minimized_fraction(self, provider, zone_label_count, max_cut_depth=1):
+        return qmin.minimized_fraction(
+            self.view, self.attribution, provider, zone_label_count, max_cut_depth
+        )
+
+    def monthly_point(self, provider, year, month):
+        return qmin.monthly_point(self.view, self.attribution, provider, year, month)
+
+
+class StreamingAnalytics(DatasetAnalytics):
+    """Aggregate-backed backend: every answer comes from the merged
+    single-pass state; no row data is ever resident."""
+
+    mode = "streaming"
+
+    def __init__(self, aggregates: AggregateSet):
+        self.aggregates = aggregates
+
+    def _check_providers(self, providers) -> tuple:
+        if providers is None:
+            return self.aggregates.providers
+        providers = tuple(providers)
+        missing = [p for p in providers if p not in self.aggregates.providers]
+        if missing:
+            raise ValueError(
+                f"providers {missing} were not aggregated "
+                f"(configured: {self.aggregates.providers})"
+            )
+        return providers
+
+    def provider_shares(self, providers=None):
+        providers = self._check_providers(providers)
+        agg = self.aggregates["provider_shares"]
+        if agg.total == 0:
+            return {p: 0.0 for p in providers}
+        return {p: float(agg.counts[p]) / agg.total for p in providers}
+
+    def rrtype_mix(self, provider, buckets=DEFAULT_RRTYPE_BUCKETS):
+        agg = self.aggregates["rrtype_mix"]
+        total = agg.totals[provider]
+        if total == 0:
+            return {**{t.name: 0.0 for t in buckets}, "other": 0.0}
+        out: Dict[str, float] = {}
+        covered = 0
+        for rrtype in buckets:
+            count = agg.count(provider, int(rrtype))
+            covered += count
+            out[rrtype.name] = float(count) / total
+        out["other"] = float(total - covered) / total
+        return out
+
+    def junk_ratios(self, providers=None):
+        providers = self._check_providers(providers)
+        agg = self.aggregates["junk"]
+        return {
+            p: (
+                float(agg.provider_junk[p]) / agg.provider_totals[p]
+                if agg.provider_totals[p]
+                else 0.0
+            )
+            for p in providers
+        }
+
+    def overall_junk_ratio(self):
+        return self.aggregates["junk"].overall()
+
+    def transport_matrix(self, providers=None):
+        providers = self._check_providers(providers)
+        agg = self.aggregates["transport"]
+        rows = []
+        for provider in providers:
+            total = agg.totals[provider]
+            if total == 0:
+                rows.append(TransportRow(provider, 0.0, 0.0, 0.0, 0.0))
+                continue
+            v6 = float(agg.v6[provider]) / total
+            tcp = float(agg.tcp[provider]) / total
+            rows.append(TransportRow(provider, 1.0 - v6, v6, 1.0 - tcp, tcp))
+        return rows
+
+    def google_split(self, public_prefixes=None, provider="Google"):
+        agg = self.aggregates["google_split"]
+        if public_prefixes is not None and tuple(public_prefixes) != agg.public_prefixes:
+            raise ValueError(
+                "google_split was aggregated over a different prefix list; "
+                "re-run streaming with matching prefixes or use the view path"
+            )
+        if provider != agg.provider:
+            raise ValueError(
+                f"google_split was aggregated for {agg.provider!r}, not {provider!r}"
+            )
+        return agg.finalize()
+
+    def bufsize_cdf(self, provider):
+        agg = self.aggregates["edns"]
+        return agg.finalize_provider(provider)
+
+    def truncation_ratio(self, provider):
+        return self.aggregates["edns"].truncation_ratio(provider)
+
+    def tcp_share(self, provider):
+        agg = self.aggregates["transport"]
+        total = agg.totals[provider]
+        if total == 0:
+            return 0.0
+        return float(agg.tcp[provider]) / total
+
+    def dataset_summary(self):
+        return self.aggregates["summary"].finalize()
+
+    def resolver_inventory(self, provider):
+        agg = self.aggregates["inventory"]
+        v4, v6 = len(agg.v4[provider]), len(agg.v6[provider])
+        return InventoryRow(provider, v4 + v6, v4, v6)
+
+    def ns_share(self, provider):
+        agg = self.aggregates["rrtype_mix"]
+        total = agg.totals[provider]
+        if total == 0:
+            return 0.0
+        return float(agg.count(provider, int(RRType.NS))) / total
+
+    def minimized_fraction(self, provider, zone_label_count, max_cut_depth=1):
+        return self.aggregates["qmin"].minimized_fraction(
+            provider, zone_label_count, max_cut_depth
+        )
+
+    def monthly_point(self, provider, year, month):
+        agg = self.aggregates["rrtype_mix"]
+        total = agg.totals[provider]
+
+        def share(rrtype: RRType) -> float:
+            return float(agg.count(provider, int(rrtype))) / total if total else 0.0
+
+        return MonthlyPoint(
+            year=year,
+            month=month,
+            ns_share=share(RRType.NS),
+            a_share=share(RRType.A),
+            aaaa_share=share(RRType.AAAA),
+            total_queries=total,
+        )

@@ -45,13 +45,18 @@ def cloud_share(
     return float(sum(provider_shares(view, attribution, providers).values()))
 
 
+#: The Figure 2 bar buckets; qtypes outside land under "other".  Shared
+#: with the streaming facade so both analysis modes report the same mix.
+DEFAULT_RRTYPE_BUCKETS = (
+    RRType.A, RRType.AAAA, RRType.NS, RRType.DS, RRType.DNSKEY, RRType.MX,
+)
+
+
 def rrtype_mix(
     view: CaptureView,
     attribution: AttributionResult,
     provider: str,
-    buckets: Sequence[RRType] = (
-        RRType.A, RRType.AAAA, RRType.NS, RRType.DS, RRType.DNSKEY, RRType.MX,
-    ),
+    buckets: Sequence[RRType] = DEFAULT_RRTYPE_BUCKETS,
 ) -> Dict[str, float]:
     """Per-provider query-type distribution (one group of Figure 2 bars).
 

@@ -9,12 +9,20 @@ Format: one compressed ``.npz`` member per column, plus a ``__meta__``
 array carrying a format-version stamp.  String columns (``server_id``,
 ``qname``) are stored as a contiguous UTF-8 pool + offsets so the archive
 contains only primitive dtypes.
+
+The same framing backs two consumers:
+
+* :func:`write_npz` / :func:`read_npz` — whole-capture persistence;
+* :mod:`repro.capture.spool` — the streaming runtime's chunk files, which
+  are simply small archives of this format written one bounded chunk at a
+  time (see :func:`view_to_arrays` / :func:`arrays_to_view`).
 """
 
 from __future__ import annotations
 
+import io
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
@@ -57,9 +65,8 @@ def _decode_strings(pool: np.ndarray, offsets: np.ndarray) -> np.ndarray:
     return out
 
 
-def write_npz(store: CaptureStore, path: Union[str, Path]) -> int:
-    """Write the capture's columns to ``path`` (.npz); returns row count."""
-    view = store.view()
+def view_to_arrays(view: CaptureView) -> Dict[str, np.ndarray]:
+    """A view's columns as primitive-dtype arrays ready for ``np.savez``."""
     arrays = {"__meta__": np.array([FORMAT_VERSION, len(view)], dtype=np.int64)}
     for column in _NUMERIC_COLUMNS:
         arrays[column] = getattr(view, column)
@@ -67,7 +74,27 @@ def write_npz(store: CaptureStore, path: Union[str, Path]) -> int:
         pool, offsets = _encode_strings(getattr(view, column))
         arrays[f"{column}__pool"] = pool
         arrays[f"{column}__offsets"] = offsets
-    np.savez_compressed(path, **arrays)
+    return arrays
+
+
+def arrays_to_view(archive) -> CaptureView:
+    """Inverse of :func:`view_to_arrays` (accepts any mapping of arrays)."""
+    meta = archive["__meta__"]
+    version = int(meta[0])
+    if version != FORMAT_VERSION:
+        raise ValueError(f"unsupported capture format version {version}")
+    columns = {name: np.asarray(archive[name]) for name in _NUMERIC_COLUMNS}
+    for column in _STRING_COLUMNS:
+        columns[column] = _decode_strings(
+            archive[f"{column}__pool"], archive[f"{column}__offsets"]
+        )
+    return CaptureView(**columns)
+
+
+def write_npz(store: CaptureStore, path: Union[str, Path]) -> int:
+    """Write the capture's columns to ``path`` (.npz); returns row count."""
+    view = store.view()
+    np.savez_compressed(path, **view_to_arrays(view))
     return len(view)
 
 
@@ -79,13 +106,17 @@ def read_npz(path: Union[str, Path]) -> CaptureView:
     straight in.
     """
     with np.load(path, allow_pickle=False) as archive:
-        meta = archive["__meta__"]
-        version = int(meta[0])
-        if version != FORMAT_VERSION:
-            raise ValueError(f"unsupported capture format version {version}")
-        columns = {name: archive[name] for name in _NUMERIC_COLUMNS}
-        for column in _STRING_COLUMNS:
-            columns[column] = _decode_strings(
-                archive[f"{column}__pool"], archive[f"{column}__offsets"]
-            )
-    return CaptureView(**columns)
+        return arrays_to_view(archive)
+
+
+def encode_chunk(view: CaptureView) -> bytes:
+    """Serialise one chunk of rows to compressed bytes (spool framing)."""
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **view_to_arrays(view))
+    return buffer.getvalue()
+
+
+def decode_chunk(data: bytes) -> CaptureView:
+    """Inverse of :func:`encode_chunk`."""
+    with np.load(io.BytesIO(data), allow_pickle=False) as archive:
+        return arrays_to_view(archive)

@@ -148,9 +148,12 @@ class CaptureStore:
     def __init__(self):
         self._rows: List[Tuple] = []
         self._frozen: Optional[CaptureView] = None
-        #: Monotonic count of rows ever appended (currently equals
-        #: ``len(self)``; kept separate so future eviction/rotation cannot
-        #: silently change the telemetry meaning).
+        #: Monotonic count of rows ever appended.  This is *not* always
+        #: ``len(self)``: the streaming runtime folds appended rows into
+        #: aggregate states (and optionally a :class:`~repro.capture.spool.
+        #: CaptureSpool`) and then releases them via :meth:`clear`, so under
+        #: ``REPRO_STREAM=1`` the telemetry meaning is "rows ever observed",
+        #: not "rows currently resident".
         self.rows_appended = 0
 
     def __len__(self) -> int:
@@ -316,24 +319,43 @@ class CaptureStore:
         merged.sort_canonical()
         return merged
 
+    @staticmethod
+    def rows_to_view(rows: Sequence[Tuple]) -> CaptureView:
+        """Freeze a slice of row tuples into columnar form.
+
+        This is the one place row tuples become column arrays; both
+        :meth:`view` and :meth:`iter_views` (and the spool's chunk writer)
+        go through it, so every code path agrees on column dtypes.
+        """
+        columns = list(zip(*rows)) if rows else [[] for _ in range(14)]
+        return CaptureView(
+            timestamp=np.asarray(columns[0], dtype=np.float64),
+            server_id=np.asarray(columns[1], dtype=object),
+            family=np.asarray(columns[2], dtype=np.uint8),
+            src_hi=np.asarray(columns[3], dtype=np.uint64),
+            src_lo=np.asarray(columns[4], dtype=np.uint64),
+            transport=np.asarray(columns[5], dtype=np.uint8),
+            qname=np.asarray(columns[6], dtype=object),
+            qtype=np.asarray(columns[7], dtype=np.uint16),
+            rcode=np.asarray(columns[8], dtype=np.uint8),
+            edns_bufsize=np.asarray(columns[9], dtype=np.uint16),
+            do_bit=np.asarray(columns[10], dtype=bool),
+            response_size=np.asarray(columns[11], dtype=np.uint32),
+            truncated=np.asarray(columns[12], dtype=bool),
+            tcp_rtt_ms=np.asarray(columns[13], dtype=np.float64),
+        )
+
     def view(self) -> CaptureView:
         """Freeze appended rows into columnar form (cached until next append)."""
         if self._frozen is None:
-            columns = list(zip(*self._rows)) if self._rows else [[] for _ in range(14)]
-            self._frozen = CaptureView(
-                timestamp=np.asarray(columns[0], dtype=np.float64),
-                server_id=np.asarray(columns[1], dtype=object),
-                family=np.asarray(columns[2], dtype=np.uint8),
-                src_hi=np.asarray(columns[3], dtype=np.uint64),
-                src_lo=np.asarray(columns[4], dtype=np.uint64),
-                transport=np.asarray(columns[5], dtype=np.uint8),
-                qname=np.asarray(columns[6], dtype=object),
-                qtype=np.asarray(columns[7], dtype=np.uint16),
-                rcode=np.asarray(columns[8], dtype=np.uint8),
-                edns_bufsize=np.asarray(columns[9], dtype=np.uint16),
-                do_bit=np.asarray(columns[10], dtype=bool),
-                response_size=np.asarray(columns[11], dtype=np.uint32),
-                truncated=np.asarray(columns[12], dtype=bool),
-                tcp_rtt_ms=np.asarray(columns[13], dtype=np.float64),
-            )
+            self._frozen = self.rows_to_view(self._rows)
         return self._frozen
+
+    def iter_views(self, chunk_rows: int = 65536) -> Iterator[CaptureView]:
+        """Yield bounded columnar views over the rows, ``chunk_rows`` at a
+        time — the single-pass entry point of the streaming analysis layer
+        (O(chunk) transient column memory instead of a full freeze)."""
+        if chunk_rows < 1:
+            raise ValueError("chunk_rows must be >= 1")
+        for start in range(0, len(self._rows), chunk_rows):
+            yield self.rows_to_view(self._rows[start : start + chunk_rows])

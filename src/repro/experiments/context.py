@@ -13,7 +13,13 @@ import os
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional, Tuple
 
-from ..analysis import AttributionResult, Attributor
+from ..analysis import (
+    AttributionResult,
+    Attributor,
+    DatasetAnalytics,
+    StreamingAnalytics,
+    ViewAnalytics,
+)
 from ..capture import CaptureStore, CaptureView
 from ..clouds import PROVIDERS
 from ..runtime import (
@@ -24,7 +30,7 @@ from ..runtime import (
     configured_workers,
     derive_shard_seed,
 )
-from ..sim import DatasetRun, run_dataset
+from ..sim import DatasetRun, configured_stream, run_dataset
 from ..telemetry import MetricsRegistry
 from ..workload import PAPER_DATASETS, dataset, monthly_google_descriptor
 
@@ -60,6 +66,8 @@ class ExperimentContext:
         telemetry: Optional[MetricsRegistry] = None,
         workers: Optional[int] = None,
         fault_plan=None,
+        stream: Optional[bool] = None,
+        spool_dir: Optional[str] = None,
     ):
         self.scale = configured_scale() if scale is None else scale
         self.seed = seed
@@ -68,8 +76,16 @@ class ExperimentContext:
         #: Optional :class:`~repro.faults.FaultPlan` applied to *every*
         #: dataset this context simulates (the CLI's ``--chaos`` flag).
         self.fault_plan = fault_plan
+        #: Streaming mode (the CLI's ``--stream`` flag / ``REPRO_STREAM``):
+        #: every simulation folds its capture into single-pass aggregates
+        #: and :meth:`analytics` answers from those instead of a
+        #: materialised view.
+        self.stream = configured_stream() if stream is None else bool(stream)
+        #: Root directory for streaming spool chunks (``None`` = temp dirs).
+        self.spool_dir = spool_dir
         self._runs: Dict[str, DatasetRun] = {}
         self._attributions: Dict[str, AttributionResult] = {}
+        self._analytics: Dict[str, DatasetAnalytics] = {}
 
     # -- dataset runs --------------------------------------------------------
 
@@ -93,6 +109,7 @@ class ExperimentContext:
                 descriptor, seed=self.seed,
                 client_queries=self._volume(descriptor),
                 telemetry=self.telemetry, workers=self.workers,
+                stream=self.stream, spool_dir=self.spool_dir,
             )
             self._runs[dataset_id] = cached
         return cached
@@ -106,6 +123,7 @@ class ExperimentContext:
                 descriptor, seed=self.seed,
                 client_queries=self._volume(descriptor),
                 telemetry=self.telemetry, workers=self.workers,
+                stream=self.stream, spool_dir=self.spool_dir,
             )
             self._runs[descriptor.dataset_id] = cached
         return cached
@@ -139,6 +157,19 @@ class ExperimentContext:
         # importable from either direction.
         from ..sim.driver import build_environment
 
+        # Streaming prefetch: the parent owns one spool per dataset (so
+        # chunk files outlive the workers that write them).
+        spools: Dict[str, object] = {}
+        if self.stream:
+            from ..capture import CaptureSpool
+
+            for dataset_id in pending:
+                directory = (
+                    os.path.join(self.spool_dir, dataset_id)
+                    if self.spool_dir else None
+                )
+                spools[dataset_id] = CaptureSpool(directory=directory)
+
         batch_metrics = MetricsRegistry()
         tasks = []
         for index, dataset_id in enumerate(pending):
@@ -149,6 +180,10 @@ class ExperimentContext:
                 client_queries=self._volume(descriptor),
                 shard_index=index,
                 shard_seed=derive_shard_seed(self.seed, index),
+                stream=self.stream,
+                spool_dir=(
+                    str(spools[dataset_id].directory) if self.stream else None
+                ),
             ))
         executor = ShardExecutor(
             RuntimeConfig(workers=self.workers), batch_metrics
@@ -165,10 +200,17 @@ class ExperimentContext:
                 continue
             descriptor = tasks[index].descriptor
             env = build_environment(descriptor, self.seed, MetricsRegistry())
-            capture = CaptureStore.from_raw_rows(
-                result.rows, result.rows_appended
-            )
-            capture.sort_canonical()
+            if self.stream:
+                from ..capture import SpooledCapture
+
+                spool = spools[dataset_id]
+                spool.adopt(result.chunk_paths, result.chunk_row_counts)
+                capture = SpooledCapture(spool, result.rows_appended)
+            else:
+                capture = CaptureStore.from_raw_rows(
+                    result.rows, result.rows_appended
+                )
+                capture.sort_canonical()
             run_metrics = MetricsRegistry()
             run_metrics.merge_snapshot(result.telemetry)
             snapshot = run_metrics.snapshot()
@@ -190,6 +232,7 @@ class ExperimentContext:
                     shard_count=1, fallbacks=int(result.fallback),
                     outcomes=[outcome],
                 ),
+                aggregates=result.aggregates,
             )
 
     # -- derived views ---------------------------------------------------------
@@ -221,3 +264,38 @@ class ExperimentContext:
         self.telemetry.counter("analysis.attribution_passes").inc()
         self.telemetry.counter("analysis.rows_attributed").inc(len(view))
         return result
+
+    # -- the analytics facade ----------------------------------------------------
+
+    def _analytics_for(self, run: DatasetRun, key: str) -> DatasetAnalytics:
+        cached = self._analytics.get(key)
+        if cached is None:
+            if run.aggregates is not None:
+                cached = StreamingAnalytics(run.aggregates)
+                self.telemetry.counter("analysis.streaming_answers").inc()
+            else:
+                attribution = self._attributions.get(key)
+                if attribution is None:
+                    attribution = self._attribute(run)
+                    self._attributions[key] = attribution
+                cached = ViewAnalytics(run.capture.view(), attribution)
+            self._analytics[key] = cached
+        return cached
+
+    def analytics(self, dataset_id: str) -> DatasetAnalytics:
+        """Mode-agnostic metric access for one dataset.
+
+        Returns a :class:`~repro.analysis.StreamingAnalytics` when the run
+        carries single-pass aggregates (streaming mode — no row
+        materialisation), a :class:`~repro.analysis.ViewAnalytics` over the
+        frozen capture otherwise.  Both answer every metric method with
+        bit-identical results.
+        """
+        return self._analytics_for(self.run(dataset_id), dataset_id)
+
+    def monthly_analytics(
+        self, vantage: str, year: int, month: int
+    ) -> Tuple[DatasetRun, DatasetAnalytics]:
+        """The monthly run plus its analytics facade (Figure 3's unit)."""
+        run = self.monthly(vantage, year, month)
+        return run, self._analytics_for(run, run.descriptor.dataset_id)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..analysis import cloud_share, provider_shares
 from ..clouds import PROVIDERS, TRAFFIC_SHARE
 from ..workload import datasets_for_vantage
 from .context import ExperimentContext
@@ -27,11 +26,9 @@ def run_vantage(ctx: ExperimentContext, vantage: str) -> Report:
     )
     series: Dict[str, list] = {p: [] for p in PROVIDERS}
     for descriptor in datasets_for_vantage(vantage):
-        dataset_id = descriptor.dataset_id
-        shares = provider_shares(
-            ctx.view(dataset_id), ctx.attribution(dataset_id), PROVIDERS
-        )
-        total = cloud_share(ctx.view(dataset_id), ctx.attribution(dataset_id), PROVIDERS)
+        analytics = ctx.analytics(descriptor.dataset_id)
+        shares = analytics.provider_shares(PROVIDERS)
+        total = analytics.cloud_share(PROVIDERS)
         for provider in PROVIDERS:
             series[provider].append(shares[provider])
             report.add(

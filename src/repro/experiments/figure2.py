@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..analysis import rrtype_mix
 from ..clouds import PROVIDERS, VALIDATES, qmin_enabled
 from .context import ExperimentContext
 from .report import Report
@@ -36,10 +35,10 @@ def run_panel(ctx: ExperimentContext, vantage: str, year: int) -> Report:
     figure = PANELS[(vantage, year)]
     dataset_id = _dataset_id(vantage, year)
     report = Report(figure, f"RR mix per cloud provider, {vantage} {year}")
-    view, attribution = ctx.view(dataset_id), ctx.attribution(dataset_id)
+    analytics = ctx.analytics(dataset_id)
     series: Dict[str, Dict[str, float]] = {}
     for provider in PROVIDERS:
-        mix = rrtype_mix(view, attribution, provider)
+        mix = analytics.rrtype_mix(provider)
         series[provider] = mix
         qmin = qmin_enabled(provider, vantage, year)
         for rrtype in ("A", "AAAA", "NS", "DS", "DNSKEY"):

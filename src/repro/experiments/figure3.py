@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Tuple
 
-from ..analysis import MonthlyPoint, detect_rollout, minimized_fraction, monthly_point
+from ..analysis import MonthlyPoint, detect_rollout
 from ..workload import FIGURE3_MONTHS
 from .context import ExperimentContext
 from .report import Report
@@ -23,10 +23,8 @@ def monthly_series(ctx: ExperimentContext, vantage: str) -> List[MonthlyPoint]:
     """Google's per-month Figure 3 data points for one ccTLD."""
     series = []
     for year, month in FIGURE3_MONTHS:
-        run, attribution = ctx.monthly_attribution(vantage, year, month)
-        series.append(
-            monthly_point(run.capture.view(), attribution, "Google", year, month)
-        )
+        __, analytics = ctx.monthly_analytics(vantage, year, month)
+        series.append(analytics.monthly_point("Google", year, month))
     return series
 
 
@@ -51,17 +49,12 @@ def run_vantage(ctx: ExperimentContext, vantage: str) -> Report:
     # Verify the minimised-name signature on a post-rollout month.  .nz
     # registrations sit at the second AND third level, so minimised cuts
     # may be one or two labels below the apex.
-    run, attribution = ctx.monthly_attribution(vantage, 2020, 1)
+    __, analytics = ctx.monthly_analytics(vantage, 2020, 1)
     max_cut_depth = 1 if vantage == "nl" else 2
     report.add(
         "minimised NS qnames (2020-01)",
         "~1.0",
-        round(
-            minimized_fraction(
-                run.capture.view(), attribution, "Google", 1, max_cut_depth
-            ),
-            3,
-        ),
+        round(analytics.minimized_fraction("Google", 1, max_cut_depth), 3),
     )
     if vantage == "nz":
         feb = next(p for p in series if (p.year, p.month) == (2020, 2))

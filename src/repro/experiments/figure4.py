@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..analysis import junk_ratios, overall_junk_ratio
 from ..clouds import JUNK_FRACTION, PROVIDERS
 from ..workload import datasets_for_vantage
 from .context import ExperimentContext
@@ -25,9 +24,8 @@ def run_vantage(ctx: ExperimentContext, vantage: str) -> Report:
         f"figure4{panel}", f"Cloud junk query ratio at {vantage} (Figure 4{panel})"
     )
     for descriptor in datasets_for_vantage(vantage):
-        dataset_id = descriptor.dataset_id
-        view, attribution = ctx.view(dataset_id), ctx.attribution(dataset_id)
-        ratios = junk_ratios(view, attribution, PROVIDERS)
+        analytics = ctx.analytics(descriptor.dataset_id)
+        ratios = analytics.junk_ratios(PROVIDERS)
         for provider in PROVIDERS:
             report.add(
                 f"{descriptor.year} {provider}",
@@ -39,7 +37,7 @@ def run_vantage(ctx: ExperimentContext, vantage: str) -> Report:
         report.add(
             f"{descriptor.year} overall",
             PAPER_OVERALL_JUNK[(vantage, descriptor.year)],
-            round(overall_junk_ratio(view), 3),
+            round(analytics.overall_junk_ratio(), 3),
             unit="junk ratio",
         )
     return report

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ..analysis import bufsize_cdf, tcp_share, truncation_table
 from ..clouds import PROVIDERS
 from .context import ExperimentContext
 from .report import Report
@@ -21,11 +20,11 @@ def run(ctx: ExperimentContext) -> Report:
     report = Report(
         "figure6", "CDF of EDNS(0) UDP message size for .nl, w2020 (Figure 6)"
     )
-    view, attribution = ctx.view("nl-w2020"), ctx.attribution("nl-w2020")
+    analytics = ctx.analytics("nl-w2020")
 
-    facebook = bufsize_cdf(view, attribution, "Facebook")
-    google = bufsize_cdf(view, attribution, "Google")
-    microsoft = bufsize_cdf(view, attribution, "Microsoft")
+    facebook = analytics.bufsize_cdf("Facebook")
+    google = analytics.bufsize_cdf("Google")
+    microsoft = analytics.bufsize_cdf("Microsoft")
     report.add("Facebook CDF @512", PAPER_FB_512_SHARE, round(facebook.at(512), 3))
     report.add("Google CDF @1232", PAPER_GOOGLE_1232_SHARE, round(google.at(1232), 3))
     report.add(
@@ -34,7 +33,7 @@ def run(ctx: ExperimentContext) -> Report:
         round(microsoft.at(1232), 3),
     )
 
-    truncation = truncation_table(view, attribution, PROVIDERS)
+    truncation = analytics.truncation_table(PROVIDERS)
     for provider, paper_value in PAPER_TRUNCATION.items():
         report.add(
             f"{provider} truncated UDP answers",
@@ -44,7 +43,7 @@ def run(ctx: ExperimentContext) -> Report:
     report.add(
         "Facebook TCP share (consequence)",
         0.14,
-        round(tcp_share(view, attribution, "Facebook"), 3),
+        round(analytics.tcp_share("Facebook"), 3),
     )
     report.series = {
         "facebook_cdf": facebook.as_points(),

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..analysis import dataset_summary
 from ..workload import PAPER_DATASETS
 from .context import ExperimentContext
 from .report import Report
@@ -20,7 +19,7 @@ def run(ctx: ExperimentContext) -> Report:
     report = Report("table3", "Evaluated datasets (Table 3)")
     for dataset_id in sorted(PAPER_DATASETS):
         descriptor = PAPER_DATASETS[dataset_id]
-        summary = dataset_summary(ctx.view(dataset_id), ctx.attribution(dataset_id))
+        summary = ctx.analytics(dataset_id).dataset_summary()
         paper_valid_fraction = (
             descriptor.paper_queries_valid / descriptor.paper_queries_total
         )
@@ -53,6 +52,8 @@ def growth(ctx: ExperimentContext, vantage: str) -> Dict[str, float]:
     ids = sorted(
         d for d in PAPER_DATASETS if PAPER_DATASETS[d].vantage == vantage
     )
-    first = len(ctx.view(ids[0]))
-    last = len(ctx.view(ids[-1]))
+    # Capture length, not a materialised view: identical for CaptureStore
+    # and SpooledCapture, so streaming runs never freeze rows here.
+    first = len(ctx.run(ids[0]).capture)
+    last = len(ctx.run(ids[-1]).capture)
     return {"first": first, "last": last, "growth": last / first - 1.0}

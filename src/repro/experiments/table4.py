@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict
 
-from ..analysis import google_split
 from ..clouds import GOOGLE_PUBLIC_DNS_PREFIXES
 from .context import ExperimentContext
 from .report import Report
@@ -23,11 +22,7 @@ def run_year(ctx: ExperimentContext, year: int) -> Report:
     report = Report(table, f"Queries from Google on w{year} (Table {4 if year == 2020 else 7})")
     for vantage in ("nl", "nz"):
         dataset_id = f"{vantage}-w{year}"
-        split = google_split(
-            ctx.view(dataset_id),
-            ctx.attribution(dataset_id),
-            GOOGLE_PUBLIC_DNS_PREFIXES,
-        )
+        split = ctx.analytics(dataset_id).google_split(GOOGLE_PUBLIC_DNS_PREFIXES)
         paper_q, paper_r = PAPER_SPLITS[(vantage, year)]
         report.add(f".{vantage} total queries", None, split.total_queries)
         report.add(f".{vantage} public queries", None, split.public_queries)

@@ -4,7 +4,6 @@ from __future__ import annotations
 
 from typing import Dict, Tuple
 
-from ..analysis import transport_matrix
 from ..clouds import PROVIDERS
 from .context import ExperimentContext
 from .report import Report
@@ -49,9 +48,7 @@ def run_vantage_year(ctx: ExperimentContext, vantage: str, year: int) -> Report:
     report = Report(
         f"table5-{vantage}-{year}", f"Transport distribution, .{vantage} {year} (Table 5)"
     )
-    rows = transport_matrix(
-        ctx.view(dataset_id), ctx.attribution(dataset_id), PROVIDERS
-    )
+    rows = ctx.analytics(dataset_id).transport_matrix(PROVIDERS)
     for row in rows:
         paper = PAPER_TABLE5[(row.provider, vantage, year)]
         report.add(f"{row.provider} IPv4", paper[0], round(row.ipv4, 2))

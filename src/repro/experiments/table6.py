@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-from ..analysis import resolver_inventory
 from .context import ExperimentContext
 from .report import Report
 
@@ -23,9 +22,7 @@ def run(ctx: ExperimentContext) -> Report:
     for provider in ("Amazon", "Microsoft"):
         for vantage in ("nl", "nz"):
             dataset_id = f"{vantage}-w2020"
-            inventory = resolver_inventory(
-                ctx.view(dataset_id), ctx.attribution(dataset_id), provider
-            )
+            inventory = ctx.analytics(dataset_id).resolver_inventory(provider)
             paper_total, paper_v4, paper_v6 = PAPER_TABLE6[provider][vantage]
             report.add(f"{provider} .{vantage} total", paper_total, inventory.total)
             report.add(f"{provider} .{vantage} IPv4", paper_v4, inventory.ipv4)

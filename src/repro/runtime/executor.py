@@ -150,11 +150,23 @@ class ShardTask:
     start: int = 0
     stop: Optional[int] = None
     fault: Optional[str] = None
+    #: Streaming mode: fold the shard's capture into an
+    #: :class:`~repro.analysis.streaming.AggregateSet` worker-side and ship
+    #: that (plus optional spool chunks) instead of raw row tuples.
+    stream: bool = False
+    #: Spool directory for streaming chunk files (shared with the parent;
+    #: ``None`` = aggregate-only, no row persistence).
+    spool_dir: Optional[str] = None
 
 
 @dataclass
 class ShardResult:
-    """What comes back from one shard: columnar capture rows + telemetry."""
+    """What comes back from one shard: columnar capture rows + telemetry.
+
+    In streaming mode ``rows`` is empty and the payload is ``aggregates``
+    (the shard's folded analysis state) plus ``chunk_paths`` /
+    ``chunk_row_counts`` describing any spool chunks the worker wrote.
+    """
 
     shard_index: int
     rows: List[tuple]
@@ -164,6 +176,9 @@ class ShardResult:
     duration_s: float
     attempts: int = 1
     fallback: bool = False
+    aggregates: Optional[object] = None
+    chunk_paths: List[str] = field(default_factory=list)
+    chunk_row_counts: List[int] = field(default_factory=list)
 
 
 @dataclass

@@ -2,8 +2,10 @@
 
 from .driver import (
     DatasetRun,
+    STREAM_ENV,
     SimEnvironment,
     build_environment,
+    configured_stream,
     run_dataset,
     run_member_range,
     simulate_shard,
@@ -11,8 +13,10 @@ from .driver import (
 
 __all__ = [
     "DatasetRun",
+    "STREAM_ENV",
     "SimEnvironment",
     "build_environment",
+    "configured_stream",
     "run_dataset",
     "run_member_range",
     "simulate_shard",

@@ -108,9 +108,34 @@ def progress_interval_s(default: float = _PROGRESS_INTERVAL_S) -> float:
     return value
 
 
+#: Environment variable enabling streaming execution (``REPRO_STREAM=1``):
+#: captures are folded into single-pass aggregate states and spilled to a
+#: chunked spool instead of being kept resident as row lists.
+STREAM_ENV = "REPRO_STREAM"
+
+_FALSEY = ("", "0", "false", "no", "off")
+
+
+def configured_stream(default: bool = False) -> bool:
+    """Streaming-mode default, overridable via the ``REPRO_STREAM`` env var."""
+    raw = os.environ.get(STREAM_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSEY
+
+
 @dataclass
 class DatasetRun:
-    """Everything produced by simulating one dataset."""
+    """Everything produced by simulating one dataset.
+
+    ``capture`` is a :class:`~repro.capture.CaptureStore` on the default
+    in-memory path, or a :class:`~repro.capture.SpooledCapture` under
+    streaming execution (``REPRO_STREAM=1``) — both answer ``len()``,
+    ``rows_appended``, ``view()`` and ``iter_views()``.  A streaming run
+    additionally carries the single-pass ``aggregates``
+    (:class:`~repro.analysis.streaming.AggregateSet`) that the analytics
+    facade answers from without materialising rows.
+    """
 
     descriptor: DatasetDescriptor
     capture: CaptureStore          #: traffic at the captured vantage servers
@@ -123,6 +148,7 @@ class DatasetRun:
     client_queries_run: int = 0
     telemetry: Optional[TelemetrySnapshot] = None
     runtime_report: Optional[RuntimeReport] = None
+    aggregates: Optional[object] = None
 
     @property
     def vantage_server_ids(self) -> List[str]:
@@ -430,6 +456,42 @@ def _publish_run_metrics(
     metrics.gauge("sim.fleet_size").set(fleet_size)
 
 
+# -- streaming fold ---------------------------------------------------------------
+
+def _stream_capture(
+    env: SimEnvironment,
+    metrics: MetricsRegistry,
+    shard_index: int,
+    directory: Optional[str],
+):
+    """Fold the environment's capture into aggregate state + spool chunks.
+
+    One pass over the captured rows: each bounded chunk view is attributed,
+    fed to every streaming aggregator, and written out as one compressed
+    spool chunk.  ``directory=None`` lets the spool own a temp dir (the
+    serial path); pool workers are always handed the parent's directory so
+    chunks outlive the worker process.  Returns ``(aggregates, spool)``.
+    """
+    # Lazy imports: repro.analysis is a consumer of this module's output
+    # everywhere else; importing it at call time keeps the sim package
+    # importable without the analysis layer loaded.
+    from ..analysis import AggregateSet, Attributor, fold_capture
+    from ..capture import CaptureSpool
+    from ..clouds import PROVIDERS
+
+    spool = CaptureSpool(directory=directory, shard_index=shard_index)
+    aggregates = AggregateSet()
+    attributor = Attributor(env.registry, PROVIDERS)
+    with metrics.time_phase("runtime.stream.fold"):
+        folded = fold_capture(aggregates, env.capture, attributor, spool=spool)
+        spool.flush()
+    metrics.counter("runtime.stream.rows_folded").inc(folded)
+    metrics.counter("capture.spool.chunks").inc(len(spool.chunk_paths()))
+    metrics.counter("capture.spool.rows").inc(spool.rows_spooled)
+    metrics.counter("capture.spool.bytes").inc(spool.bytes_written)
+    return aggregates, spool
+
+
 # -- the resolve loop ------------------------------------------------------------
 
 def run_member_range(
@@ -543,13 +605,31 @@ def simulate_shard(task: ShardTask) -> ShardResult:
         metrics, env.fleet[task.start:stop], env.server_sets, env.capture,
         fleet_size=len(env.fleet), faults=env.network.faults,
     )
+    rows = env.capture.raw_rows()
+    rows_appended = env.capture.rows_appended
+    aggregates = None
+    chunk_paths: List[str] = []
+    chunk_row_counts: List[int] = []
+    if task.stream:
+        # Streaming shard: fold rows into aggregate state + spool chunks
+        # and ship those; the raw rows never cross the process boundary.
+        aggregates, spool = _stream_capture(
+            env, metrics, task.shard_index, task.spool_dir
+        )
+        chunk_paths = spool.chunk_paths()
+        chunk_row_counts = spool.chunk_row_counts()
+        rows = []
+        env.capture.clear()
     result = ShardResult(
         shard_index=task.shard_index,
-        rows=env.capture.raw_rows(),
-        rows_appended=env.capture.rows_appended,
+        rows=rows,
+        rows_appended=rows_appended,
         queries_run=queries_run,
         telemetry=metrics.snapshot(),
         duration_s=time.perf_counter() - started,
+        aggregates=aggregates,
+        chunk_paths=chunk_paths,
+        chunk_row_counts=chunk_row_counts,
     )
     release_environment(env)
     return result
@@ -565,6 +645,8 @@ def run_dataset(
     workers: Optional[int] = None,
     shard_count: Optional[int] = None,
     runtime: Optional[RuntimeConfig] = None,
+    stream: Optional[bool] = None,
+    spool_dir: Optional[str] = None,
 ) -> DatasetRun:
     """Simulate one dataset and return its capture.
 
@@ -582,13 +664,28 @@ def run_dataset(
     :class:`~repro.runtime.RuntimeConfig` (timeouts, retries, fault
     injection) and overrides both.
 
+    ``stream`` (default: the ``REPRO_STREAM`` env var) switches to
+    streaming execution: captured rows are folded into a single-pass
+    :class:`~repro.analysis.streaming.AggregateSet` and spilled to a
+    chunked :class:`~repro.capture.CaptureSpool` as they leave each shard,
+    so the parent never holds the full row set.  The returned run carries a
+    :class:`~repro.capture.SpooledCapture` plus ``aggregates``; every
+    analysis is bit-identical to the in-memory path.  ``spool_dir`` roots
+    the chunk files (a per-dataset subdirectory is created); ``None`` uses
+    a self-cleaning temp dir.
+
     ``telemetry`` optionally names a session-level registry (e.g. an
     :class:`~repro.experiments.context.ExperimentContext`'s) into which
     this run's metrics are merged; the run itself always instruments a
     fresh registry whose snapshot lands on ``DatasetRun.telemetry``.
     """
     config = resolve_runtime_config(workers, shard_count, runtime)
+    stream = configured_stream() if stream is None else bool(stream)
+    dataset_spool_dir = (
+        os.path.join(spool_dir, descriptor.dataset_id) if spool_dir else None
+    )
     metrics = MetricsRegistry()
+    metrics.gauge("runtime.stream.enabled").set(1 if stream else 0)
     env = build_environment(descriptor, seed, metrics)
     total_queries = (
         descriptor.client_queries if client_queries is None else client_queries
@@ -607,8 +704,19 @@ def run_dataset(
         len(plan), config.workers,
     )
 
+    aggregates = None
     use_pool = config.workers > 1 and len(plan) > 1 and total_queries > 0
     if use_pool:
+        # In streaming mode the parent owns the spool (and its temp dir,
+        # when no explicit directory is given) and workers write their
+        # chunks straight into it — chunk files must outlive the workers.
+        parent_spool = None
+        worker_spool_dir = None
+        if stream:
+            from ..capture import CaptureSpool
+
+            parent_spool = CaptureSpool(directory=dataset_spool_dir)
+            worker_spool_dir = str(parent_spool.directory)
         tasks = [
             ShardTask(
                 descriptor=descriptor,
@@ -618,6 +726,8 @@ def run_dataset(
                 shard_seed=shard.seed,
                 start=shard.start,
                 stop=shard.stop,
+                stream=stream,
+                spool_dir=worker_spool_dir,
             )
             for shard in plan
         ]
@@ -629,20 +739,43 @@ def run_dataset(
         with metrics.time_phase("runtime.execute"):
             executor.submit(tasks)
             results, runtime_report = executor.collect()
-        with metrics.time_phase("runtime.merge"):
-            capture = CaptureStore.merge([
-                CaptureStore.from_raw_rows(r.rows, r.rows_appended)
-                for r in results
-            ])
-            for result in results:
-                metrics.merge_snapshot(result.telemetry)
-            resolve_s = metrics.phase_seconds("resolve")
-            if resolve_s > 0:
-                # Re-derive the throughput gauge from merged totals (the
-                # per-worker last-write value is meaningless here).
-                metrics.gauge("capture.append_rows_per_s").set(
-                    capture.rows_appended / resolve_s
+        if stream:
+            from ..analysis import AggregateSet
+            from ..capture import SpooledCapture
+
+            with metrics.time_phase("runtime.stream.merge"):
+                # collect() returns results in shard-index order, so
+                # adopting chunks in results order reproduces the serial
+                # append sequence — SpooledCapture.view() then applies the
+                # same canonical sort as CaptureStore.merge.
+                aggregates = AggregateSet.merge_all(
+                    [r.aggregates for r in results if r.aggregates is not None]
                 )
+                for result in results:
+                    parent_spool.adopt(result.chunk_paths, result.chunk_row_counts)
+                    metrics.merge_snapshot(result.telemetry)
+                rows_appended = sum(r.rows_appended for r in results)
+                capture = SpooledCapture(parent_spool, rows_appended)
+                resolve_s = metrics.phase_seconds("resolve")
+                if resolve_s > 0:
+                    metrics.gauge("capture.append_rows_per_s").set(
+                        rows_appended / resolve_s
+                    )
+        else:
+            with metrics.time_phase("runtime.merge"):
+                capture = CaptureStore.merge([
+                    CaptureStore.from_raw_rows(r.rows, r.rows_appended)
+                    for r in results
+                ])
+                for result in results:
+                    metrics.merge_snapshot(result.telemetry)
+                resolve_s = metrics.phase_seconds("resolve")
+                if resolve_s > 0:
+                    # Re-derive the throughput gauge from merged totals (the
+                    # per-worker last-write value is meaningless here).
+                    metrics.gauge("capture.append_rows_per_s").set(
+                        capture.rows_appended / resolve_s
+                    )
         queries_run = sum(result.queries_run for result in results)
     else:
         runtime_report = RuntimeReport(
@@ -670,9 +803,19 @@ def run_dataset(
             metrics, env.fleet, env.server_sets, env.capture,
             fleet_size=len(env.fleet), faults=env.network.faults,
         )
-        with metrics.time_phase("runtime.merge"):
-            env.capture.sort_canonical()
-        capture = env.capture
+        if stream:
+            from ..capture import SpooledCapture
+
+            # No canonical sort here: chunks spill in append order and
+            # SpooledCapture.view() applies the same stable lexsort on
+            # materialisation, bit-identical to sort_canonical().
+            aggregates, spool = _stream_capture(env, metrics, 0, dataset_spool_dir)
+            capture = SpooledCapture(spool, env.capture.rows_appended)
+            env.capture.clear()
+        else:
+            with metrics.time_phase("runtime.merge"):
+                env.capture.sort_canonical()
+            capture = env.capture
 
     snapshot = metrics.snapshot()
     logger.info(
@@ -695,4 +838,5 @@ def run_dataset(
         client_queries_run=queries_run,
         telemetry=snapshot,
         runtime_report=runtime_report,
+        aggregates=aggregates,
     )

@@ -1,4 +1,10 @@
-"""Shared fixtures: a small simulated DNS world for integration tests."""
+"""Shared fixtures: a small simulated DNS world for integration tests.
+
+Zone construction (root + two registries) is the expensive part and is
+read-only at serve time, so the zones are built once per session; every
+test still gets its own servers, captures, and latency model, keeping
+capture state isolated per test.
+"""
 
 import pytest
 
@@ -10,19 +16,35 @@ from repro.server import AuthoritativeServer, ServerSet
 from repro.zones import ZoneSpec, build_registry_zone, build_root_zone
 
 
+@pytest.fixture(scope="session")
+def session_zones():
+    """Root + .nl (50 domains) + .nz (20 SLD / 30 third-level), built once.
+
+    Zones are immutable once built (servers only read them), so sharing
+    them across the session is safe and skips the dominant fixture cost.
+    """
+    return {
+        "root": build_root_zone(seed=3),
+        "nl": build_registry_zone(
+            ZoneSpec(origin="nl", second_level_count=50, seed=1)
+        ),
+        "nz": build_registry_zone(
+            ZoneSpec(origin="nz", second_level_count=20, third_level_count=30, seed=2)
+        ),
+    }
+
+
 @pytest.fixture
 def latency():
     return LatencyModel()
 
 
 @pytest.fixture
-def small_world(latency):
-    """Root + .nl (50 domains) + .nz (20 SLD / 30 third-level), captured."""
-    root_zone = build_root_zone(seed=3)
-    nl_zone = build_registry_zone(ZoneSpec(origin="nl", second_level_count=50, seed=1))
-    nz_zone = build_registry_zone(
-        ZoneSpec(origin="nz", second_level_count=20, third_level_count=30, seed=2)
-    )
+def small_world(latency, session_zones):
+    """The session zones behind fresh per-test servers and captures."""
+    root_zone = session_zones["root"]
+    nl_zone = session_zones["nl"]
+    nz_zone = session_zones["nz"]
 
     root_capture = CaptureStore()
     nl_capture = CaptureStore()

@@ -53,9 +53,11 @@ def assert_views_equal(a, b):
 
 
 def sim_counters(snapshot):
+    # runtime.* and capture.spool.* depend on execution topology (worker
+    # count, chunking), not on simulation behaviour — exclude both.
     return {
         key: value for key, value in snapshot.counters.items()
-        if not key.startswith("runtime.")
+        if not key.startswith(("runtime.", "capture.spool."))
     }
 
 

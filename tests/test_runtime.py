@@ -39,11 +39,12 @@ def assert_views_equal(a, b):
 
 
 def sim_counters(snapshot):
-    """The simulation-facing counters (excludes runtime.* bookkeeping,
-    which legitimately differs between serial and pooled execution)."""
+    """The simulation-facing counters (excludes runtime.* bookkeeping and
+    capture.spool.* chunk accounting, which legitimately differ between
+    serial and pooled execution)."""
     return {
         key: value for key, value in snapshot.counters.items()
-        if not key.startswith("runtime.")
+        if not key.startswith(("runtime.", "capture.spool."))
     }
 
 

@@ -1,0 +1,206 @@
+"""Property tests for the spool chunk codec and canonical reassembly.
+
+The spool's on-disk format is the io_binary framing inside ``.npz``
+archives; these tests fuzz the full round trip (rows → columns → chunk
+file → columns) over adversarial record populations — empty chunks,
+maximum-size EDNS payloads, zero-bufsize (no-OPT) queries, and mixed
+v4/v6 address extremes — and pin down the reassembly invariant that
+``SpooledCapture.view()`` equals the in-memory canonical sort.
+"""
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.capture import (
+    CaptureSpool,
+    CaptureStore,
+    QueryRecord,
+    SpooledCapture,
+    Transport,
+)
+from repro.capture.spool import chunk_name, read_chunk, write_chunk
+from repro.netsim import IPAddress
+
+record_st = st.builds(
+    lambda ts, server, fam, val, transport, qname, qtype, rcode, bufsize,
+    do_bit, size, truncated, rtt: QueryRecord(
+        timestamp=ts,
+        server_id=server,
+        src=IPAddress(fam, val % (2**32 if fam == 4 else 2**128)),
+        transport=Transport.TCP if transport else Transport.UDP,
+        qname=qname,
+        qtype=qtype,
+        rcode=rcode,
+        edns_bufsize=bufsize,
+        do_bit=do_bit,
+        response_size=size,
+        truncated=truncated,
+        tcp_rtt_ms=(rtt if transport else None),
+    ),
+    st.floats(0, 1e9, allow_nan=False),
+    st.sampled_from(["nl-a", "nl-b", "nz-u", "b-root"]),
+    st.sampled_from([4, 6]),
+    st.integers(0, 2**128 - 1),
+    st.booleans(),
+    st.sampled_from(
+        ["nl.", "example.nl.", "a.very.deep.chain.example.nl.", "xn--caf-dma.nz."]
+    ),
+    st.integers(1, 65535),
+    st.integers(0, 23),
+    # Exercise the full EDNS0 range: 0 (no OPT) through the 0xFFFF maximum.
+    st.sampled_from([0, 512, 1232, 4096, 0xFFFF]),
+    st.booleans(),
+    st.integers(0, 2**32 - 1),
+    st.booleans(),
+    st.floats(0.01, 2000.0),
+)
+
+
+def records_to_view(records):
+    store = CaptureStore()
+    store.extend(records)
+    return store.view()
+
+
+def assert_views_equal(a, b):
+    for name in type(a).__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, f"column {name}: {x.dtype} != {y.dtype}"
+        equal_nan = name == "tcp_rtt_ms"
+        assert np.array_equal(x, y, equal_nan=equal_nan), f"column {name} differs"
+
+
+class TestChunkRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(record_st, max_size=50))
+    def test_write_read_round_trip(self, records):
+        view = records_to_view(records)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / chunk_name(0, 0)
+            size = write_chunk(path, view)
+            assert size == path.stat().st_size > 0
+            assert_views_equal(view, read_chunk(path))
+
+    def test_empty_chunk_round_trip(self):
+        view = records_to_view([])
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / chunk_name(0, 0)
+            write_chunk(path, view)
+            loaded = read_chunk(path)
+            assert len(loaded) == 0
+            assert_views_equal(view, loaded)
+
+    def test_max_edns_payload_survives_exactly(self):
+        records = [
+            QueryRecord(
+                timestamp=1.0, server_id="nl-a",
+                src=IPAddress(6, 2**128 - 1),
+                transport=Transport.UDP, qname="example.nl.", qtype=1,
+                rcode=0, edns_bufsize=0xFFFF, do_bit=True,
+                response_size=2**32 - 1, truncated=True,
+            ),
+            QueryRecord(
+                timestamp=2.0, server_id="nl-a",
+                src=IPAddress(4, 2**32 - 1),
+                transport=Transport.UDP, qname="example.nl.", qtype=1,
+                rcode=0, edns_bufsize=0,
+            ),
+        ]
+        view = records_to_view(records)
+        with tempfile.TemporaryDirectory() as tmp:
+            path = Path(tmp) / chunk_name(3, 7)
+            write_chunk(path, view)
+            loaded = read_chunk(path)
+        assert list(loaded.edns_bufsize) == [0xFFFF, 0]
+        assert int(loaded.response_size[0]) == 2**32 - 1
+        assert int(loaded.src_hi[0]) == 2**64 - 1 and int(loaded.src_lo[0]) == 2**64 - 1
+        assert_views_equal(view, loaded)
+
+
+class TestSpoolProperties:
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(record_st, max_size=60), st.integers(1, 9))
+    def test_chunking_preserves_rows_and_order(self, records, chunk_rows):
+        store = CaptureStore()
+        store.extend(records)
+        with tempfile.TemporaryDirectory() as tmp:
+            spool = CaptureSpool(directory=tmp, chunk_rows=chunk_rows)
+            spool.spool_store(store)
+            spool.flush()
+            assert len(spool) == len(records)
+            assert spool.rows_spooled == len(records)
+            chunks = list(spool.iter_views())
+            assert all(len(c) <= chunk_rows for c in chunks)
+            assert spool.chunk_row_counts() == [len(c) for c in chunks]
+            # Concatenated chunks reproduce the store's rows in append order.
+            if records:
+                merged_ts = np.concatenate([c.timestamp for c in chunks])
+                assert np.array_equal(
+                    merged_ts, np.asarray([r.timestamp for r in records])
+                )
+            spool.cleanup()
+            assert len(spool) == 0
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(record_st, max_size=60), st.integers(1, 9))
+    def test_spooled_view_equals_canonical_sort(self, records, chunk_rows):
+        """The reassembly invariant behind streaming/in-memory parity:
+        materialising a spool is bit-identical to sort_canonical()."""
+        reference = CaptureStore()
+        reference.extend(records)
+        reference.sort_canonical()
+
+        store = CaptureStore()
+        store.extend(records)
+        with tempfile.TemporaryDirectory() as tmp:
+            spool = CaptureSpool(directory=tmp, chunk_rows=chunk_rows)
+            spool.spool_store(store)
+            capture = SpooledCapture(spool)
+            assert capture.rows_appended == len(records)
+            assert_views_equal(reference.view(), capture.view())
+            capture.release_view()
+            assert_views_equal(reference.view(), capture.view())
+            capture.cleanup()
+
+    def test_write_view_rejects_buffered_rows(self):
+        records = [
+            QueryRecord(
+                timestamp=1.0, server_id="nl-a", src=IPAddress(4, 1),
+                transport=Transport.UDP, qname="nl.", qtype=2, rcode=0,
+            )
+        ]
+        with tempfile.TemporaryDirectory() as tmp:
+            spool = CaptureSpool(directory=tmp, chunk_rows=100)
+            store = CaptureStore()
+            store.extend(records)
+            spool.append_rows(store.raw_rows())
+            with pytest.raises(RuntimeError):
+                spool.write_view(records_to_view(records))
+            spool.flush()
+            spool.write_view(records_to_view(records))
+            assert len(spool) == 2
+            spool.cleanup()
+
+    def test_adopt_reads_row_counts_from_metadata(self):
+        store = CaptureStore()
+        store.extend(
+            [
+                QueryRecord(
+                    timestamp=float(i), server_id="nl-a", src=IPAddress(4, i + 1),
+                    transport=Transport.UDP, qname="nl.", qtype=2, rcode=0,
+                )
+                for i in range(5)
+            ]
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            writer = CaptureSpool(directory=tmp, chunk_rows=2, shard_index=1)
+            writer.spool_store(store)
+            writer.flush()
+            adopter = CaptureSpool(directory=tmp)
+            adopter.adopt(writer.chunk_paths())
+            assert len(adopter) == 5
+            assert adopter.chunk_row_counts() == writer.chunk_row_counts()

@@ -1,0 +1,200 @@
+"""Aggregator algebra: the merge laws the streaming runtime relies on.
+
+The sharded streaming pipeline is only correct if, for every registered
+aggregator, (1) feeding a capture partition-by-partition equals feeding it
+whole, (2) merge is order-insensitive, and (3) merge is associative — the
+parent may then fold shard states in any grouping and still match a serial
+single-pass fold.  These properties are checked against the canonical
+``state()`` snapshot for every entry in ``AGGREGATOR_FACTORIES``, so a new
+aggregator gets algebra coverage just by registering itself.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import AggregateSet
+from repro.analysis.attribution import OTHER, UNKNOWN, AttributionResult
+from repro.analysis.streaming import AGGREGATOR_FACTORIES
+from repro.capture import CaptureStore, QueryRecord, Transport
+from repro.clouds import GOOGLE_PUBLIC_DNS_PREFIXES, PROVIDERS
+from repro.netsim import IPAddress
+
+#: Labels the synthetic attribution can hand out (clouds + the two
+#: non-cloud buckets the real Attributor produces).
+LABELS = tuple(PROVIDERS) + (OTHER, UNKNOWN)
+
+#: 8.8.8.8 — inside the advertised Google Public DNS egress ranges, so the
+#: GoogleSplit trie sees genuine public hits, not only misses.
+GOOGLE_PUBLIC_V4 = 0x08080808
+
+record_st = st.builds(
+    lambda ts, fam, val, public, transport, qname, qtype, rcode, bufsize, trunc, rtt: QueryRecord(
+        timestamp=ts,
+        server_id="nl-a",
+        src=IPAddress(4, GOOGLE_PUBLIC_V4) if public else IPAddress(
+            fam, val % (2**32 if fam == 4 else 2**128)
+        ),
+        transport=Transport.TCP if transport else Transport.UDP,
+        qname=qname,
+        qtype=qtype,
+        rcode=rcode,
+        edns_bufsize=bufsize,
+        truncated=trunc,
+        tcp_rtt_ms=(rtt if transport else None),
+    ),
+    st.floats(0, 1e6, allow_nan=False),
+    st.sampled_from([4, 6]),
+    st.integers(0, 2**128 - 1),
+    st.booleans(),
+    st.booleans(),
+    st.sampled_from(["nl.", "example.nl.", "sub.example.nl.", "deep.sub.example.nl."]),
+    st.sampled_from([1, 2, 6, 12, 28, 48]),
+    st.integers(0, 5),
+    st.sampled_from([0, 512, 1232, 4096]),
+    st.booleans(),
+    st.floats(0.1, 500.0),
+)
+
+
+def synthetic_attribution(view) -> AttributionResult:
+    """Deterministic per-row labels derived purely from row content.
+
+    Being a pure function of the row, the labelling is automatically
+    consistent across any partitioning of the capture — the same property
+    the real Attributor has.
+    """
+    mix = (view.src_hi * np.uint64(31) + view.src_lo + view.family) % np.uint64(
+        len(LABELS)
+    )
+    providers = np.array([LABELS[int(i)] for i in mix], dtype=object)
+    # Force the crafted public-DNS address into Google so split states are
+    # populated; keep some rows unrouted (ASN 0).
+    public = (view.family == 4) & (view.src_lo == np.uint64(GOOGLE_PUBLIC_V4))
+    providers[public] = "Google"
+    asns = (view.src_lo % np.uint64(7)).astype(np.int64)
+    return AttributionResult(providers=providers, asns=asns)
+
+
+def records_to_view(records):
+    store = CaptureStore()
+    store.extend(records)
+    return store.view()
+
+
+def partition(view, cuts):
+    """Split a view into contiguous slices at the given row offsets."""
+    bounds = sorted({min(c, len(view)) for c in cuts})
+    parts, start = [], 0
+    for bound in bounds + [len(view)]:
+        mask = np.zeros(len(view), dtype=bool)
+        mask[start:bound] = True
+        parts.append(view.select(mask))
+        start = bound
+    return parts
+
+
+def fresh(name):
+    return AGGREGATOR_FACTORIES[name](PROVIDERS, GOOGLE_PUBLIC_DNS_PREFIXES)
+
+
+def fed(name, views):
+    aggregator = fresh(name)
+    for view in views:
+        aggregator.feed(view, synthetic_attribution(view))
+    return aggregator
+
+
+parts_st = st.tuples(
+    st.lists(record_st, max_size=50),
+    st.lists(st.integers(0, 50), max_size=3),
+)
+
+
+@pytest.mark.parametrize("name", sorted(AGGREGATOR_FACTORIES))
+class TestAggregatorAlgebra:
+    @settings(max_examples=20, deadline=None)
+    @given(parts_st)
+    def test_feed_over_partition_equals_whole(self, name, data):
+        records, cuts = data
+        view = records_to_view(records)
+        whole = fed(name, [view])
+        chunked = fed(name, partition(view, cuts))
+        assert whole.state() == chunked.state()
+
+    @settings(max_examples=20, deadline=None)
+    @given(parts_st)
+    def test_merge_is_order_insensitive(self, name, data):
+        records, cuts = data
+        parts = partition(records_to_view(records), cuts)
+        shards = [fed(name, [part]) for part in parts]
+        forward = fresh(name)
+        for shard in [fed(name, [p]) for p in parts]:
+            forward.merge(shard)
+        backward = fresh(name)
+        for shard in reversed(shards):
+            backward.merge(shard)
+        whole = fed(name, [records_to_view(records)])
+        assert forward.state() == backward.state() == whole.state()
+
+    @settings(max_examples=20, deadline=None)
+    @given(parts_st)
+    def test_merge_is_associative(self, name, data):
+        records, cuts = data
+        view = records_to_view(records)
+        parts = partition(view, cuts)[:3]
+        while len(parts) < 3:
+            parts.append(view.select(np.zeros(len(view), dtype=bool)))
+
+        def shard(i):
+            return fed(name, [parts[i]])
+
+        left = shard(0)
+        left.merge(shard(1))
+        left.merge(shard(2))
+
+        right_tail = shard(1)
+        right_tail.merge(shard(2))
+        right = shard(0)
+        right.merge(right_tail)
+        assert left.state() == right.state()
+
+    def test_merge_rejects_mismatched_config(self, name):
+        a = fresh(name)
+        b = AGGREGATOR_FACTORIES[name](PROVIDERS[:2], ("192.0.2.0/24",))
+        if a.config() == b.config():
+            pytest.skip("aggregator has no configuration")
+        with pytest.raises(ValueError):
+            a.merge(b)
+
+
+class TestAggregateSetAlgebra:
+    @settings(max_examples=15, deadline=None)
+    @given(parts_st)
+    def test_set_partition_merge_equals_whole(self, data):
+        records, cuts = data
+        view = records_to_view(records)
+        whole = AggregateSet(PROVIDERS, GOOGLE_PUBLIC_DNS_PREFIXES)
+        whole.feed(view, synthetic_attribution(view))
+
+        shards = []
+        for part in partition(view, cuts):
+            shard = AggregateSet(PROVIDERS, GOOGLE_PUBLIC_DNS_PREFIXES)
+            shard.feed(part, synthetic_attribution(part))
+            shards.append(shard)
+        merged = AggregateSet.merge_all(shards)
+
+        assert merged.rows_fed == whole.rows_fed == len(view)
+        for name in AGGREGATOR_FACTORIES:
+            assert merged[name].state() == whole[name].state(), name
+
+    def test_merge_all_of_nothing_is_empty(self):
+        merged = AggregateSet.merge_all([])
+        assert merged.rows_fed == 0
+        assert merged["summary"].state()["total"] == 0
+
+    def test_mismatched_sets_refuse_to_merge(self):
+        a = AggregateSet(PROVIDERS, GOOGLE_PUBLIC_DNS_PREFIXES)
+        b = AggregateSet(PROVIDERS[:1], GOOGLE_PUBLIC_DNS_PREFIXES)
+        with pytest.raises(ValueError):
+            a.merge(b)

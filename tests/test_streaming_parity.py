@@ -1,0 +1,248 @@
+"""Golden parity: streaming analyses must be bit-identical to in-memory.
+
+The streaming pipeline (capture spool + single-pass mergeable aggregators)
+has to be invisible in the numbers: every figure/table answer — and the
+materialised capture itself — must equal the in-memory path *exactly*
+(same floats, same dtypes), whether the run was serial, pooled, or
+degraded by a chaos schedule.  Report telemetry (wall times, counter
+deltas) is excluded from the comparison by design; everything else is.
+"""
+
+import dataclasses
+from dataclasses import replace
+
+import numpy as np
+import pytest
+
+from repro.analysis import Attributor, StreamingAnalytics, ViewAnalytics
+from repro.clouds import GOOGLE_PUBLIC_DNS_PREFIXES, PROVIDERS
+from repro.experiments import ExperimentContext
+from repro.experiments.render_all import collect_all
+from repro.faults import chaos_scenario
+from repro.sim import run_dataset
+from repro.workload import dataset
+
+DATASET = "nl-w2020"
+QUERIES = 900
+SEED = 20201027
+
+#: Scale for the full-report golden comparison (slow lane).
+GOLDEN_SCALE = 0.02
+GOLDEN_SEED = 7
+
+
+def assert_deep_equal(a, b, path="$"):
+    """Bit-strict structural equality over dataclasses/dicts/arrays."""
+    assert type(a) is type(b), f"{path}: {type(a).__name__} != {type(b).__name__}"
+    if isinstance(a, np.ndarray):
+        assert a.dtype == b.dtype, f"{path}: dtype {a.dtype} != {b.dtype}"
+        equal_nan = a.dtype.kind == "f"
+        assert np.array_equal(a, b, equal_nan=equal_nan), f"{path}: arrays differ"
+    elif dataclasses.is_dataclass(a):
+        for field in dataclasses.fields(a):
+            assert_deep_equal(
+                getattr(a, field.name), getattr(b, field.name),
+                f"{path}.{field.name}",
+            )
+    elif isinstance(a, dict):
+        assert a.keys() == b.keys(), f"{path}: keys {a.keys()} != {b.keys()}"
+        for key in a:
+            assert_deep_equal(a[key], b[key], f"{path}[{key!r}]")
+    elif isinstance(a, (list, tuple)):
+        assert len(a) == len(b), f"{path}: length {len(a)} != {len(b)}"
+        for index, (x, y) in enumerate(zip(a, b)):
+            assert_deep_equal(x, y, f"{path}[{index}]")
+    elif isinstance(a, float) and np.isnan(a) and np.isnan(b):
+        pass
+    else:
+        assert a == b, f"{path}: {a!r} != {b!r}"
+
+
+def assert_views_equal(a, b):
+    for name in type(a).__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, f"column {name}: dtype differs"
+        equal_nan = name == "tcp_rtt_ms"
+        assert np.array_equal(x, y, equal_nan=equal_nan), f"column {name} differs"
+
+
+def view_analytics(run):
+    """The in-memory answer path, built the way ExperimentContext does."""
+    view = run.capture.view()
+    return ViewAnalytics(view, Attributor(run.registry, PROVIDERS).attribute(view))
+
+
+def assert_reducer_parity(mem, streaming):
+    """Every facade method (= every figure/table reducer) agrees exactly."""
+    assert_deep_equal(mem.provider_shares(PROVIDERS), streaming.provider_shares(PROVIDERS))
+    assert mem.cloud_share(PROVIDERS) == streaming.cloud_share(PROVIDERS)
+    assert_deep_equal(mem.junk_ratios(PROVIDERS), streaming.junk_ratios(PROVIDERS))
+    assert mem.overall_junk_ratio() == streaming.overall_junk_ratio()
+    assert_deep_equal(mem.transport_matrix(PROVIDERS), streaming.transport_matrix(PROVIDERS))
+    assert_deep_equal(mem.truncation_table(PROVIDERS), streaming.truncation_table(PROVIDERS))
+    assert_deep_equal(
+        mem.google_split(GOOGLE_PUBLIC_DNS_PREFIXES),
+        streaming.google_split(GOOGLE_PUBLIC_DNS_PREFIXES),
+    )
+    assert_deep_equal(mem.dataset_summary(), streaming.dataset_summary())
+    for provider in PROVIDERS:
+        assert_deep_equal(mem.rrtype_mix(provider), streaming.rrtype_mix(provider))
+        assert_deep_equal(mem.bufsize_cdf(provider), streaming.bufsize_cdf(provider))
+        assert mem.truncation_ratio(provider) == streaming.truncation_ratio(provider)
+        assert mem.tcp_share(provider) == streaming.tcp_share(provider)
+        assert_deep_equal(
+            mem.resolver_inventory(provider), streaming.resolver_inventory(provider)
+        )
+        assert mem.ns_share(provider) == streaming.ns_share(provider)
+        assert mem.minimized_fraction(provider, 1) == streaming.minimized_fraction(provider, 1)
+        assert_deep_equal(
+            mem.monthly_point(provider, 2020, 1),
+            streaming.monthly_point(provider, 2020, 1),
+        )
+
+
+# Modes are pinned explicitly everywhere in this module so the comparison
+# stays serial-in-memory vs streaming even when the suite itself runs
+# under REPRO_STREAM=1 / REPRO_WORKERS=2.
+@pytest.fixture(scope="module")
+def mem_run():
+    return run_dataset(
+        dataset(DATASET), client_queries=QUERIES, seed=SEED,
+        workers=1, stream=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def stream_run():
+    return run_dataset(
+        dataset(DATASET), client_queries=QUERIES, seed=SEED,
+        workers=1, stream=True,
+    )
+
+
+class TestSerialParity:
+    def test_run_shapes(self, mem_run, stream_run):
+        assert mem_run.aggregates is None
+        assert stream_run.aggregates is not None
+        assert len(mem_run.capture) == len(stream_run.capture)
+        assert stream_run.capture.rows_appended == mem_run.capture.rows_appended
+        assert stream_run.aggregates.rows_fed == len(stream_run.capture)
+
+    def test_materialised_view_bit_identical(self, mem_run, stream_run):
+        assert_views_equal(mem_run.capture.view(), stream_run.capture.view())
+
+    def test_all_reducers_bit_identical(self, mem_run, stream_run):
+        assert_reducer_parity(
+            view_analytics(mem_run), StreamingAnalytics(stream_run.aggregates)
+        )
+
+    def test_streamed_view_answers_match_aggregates(self, stream_run):
+        """The compatibility fallback (materialising the spooled capture
+        and analysing it in memory) agrees with the aggregate answers."""
+        assert_reducer_parity(
+            view_analytics(stream_run), StreamingAnalytics(stream_run.aggregates)
+        )
+
+
+class TestPooledParity:
+    @pytest.fixture(scope="class")
+    def pooled_run(self):
+        return run_dataset(
+            dataset(DATASET), client_queries=QUERIES, seed=SEED,
+            workers=2, stream=True,
+        )
+
+    def test_pool_was_used(self, pooled_run):
+        assert pooled_run.runtime_report.mode == "process-pool"
+        assert pooled_run.runtime_report.failures == 0
+        assert pooled_run.aggregates is not None
+
+    def test_pooled_view_matches_serial_memory(self, mem_run, pooled_run):
+        assert_views_equal(mem_run.capture.view(), pooled_run.capture.view())
+
+    def test_pooled_reducers_match_serial_memory(self, mem_run, pooled_run):
+        assert_reducer_parity(
+            view_analytics(mem_run), StreamingAnalytics(pooled_run.aggregates)
+        )
+
+
+class TestChaosParity:
+    """Fault injection must not break the streaming/in-memory equivalence:
+    the chaos schedule is a deterministic function of (scenario, seed), so
+    both modes observe the same degraded traffic."""
+
+    @pytest.fixture(scope="class")
+    def chaos_descriptor(self):
+        return replace(
+            dataset(DATASET), fault_plan=chaos_scenario("default-loss")
+        )
+
+    @pytest.fixture(scope="class")
+    def chaos_mem_run(self, chaos_descriptor):
+        return run_dataset(
+            chaos_descriptor, client_queries=QUERIES, seed=SEED,
+            workers=1, stream=False,
+        )
+
+    @pytest.fixture(scope="class")
+    def chaos_stream_run(self, chaos_descriptor):
+        return run_dataset(
+            chaos_descriptor, client_queries=QUERIES, seed=SEED,
+            workers=2, stream=True,
+        )
+
+    def test_chaos_views_bit_identical(self, chaos_mem_run, chaos_stream_run):
+        assert chaos_stream_run.runtime_report.mode == "process-pool"
+        assert_views_equal(
+            chaos_mem_run.capture.view(), chaos_stream_run.capture.view()
+        )
+
+    def test_chaos_reducers_bit_identical(self, chaos_mem_run, chaos_stream_run):
+        assert_reducer_parity(
+            view_analytics(chaos_mem_run),
+            StreamingAnalytics(chaos_stream_run.aggregates),
+        )
+
+
+class TestSpoolDirectory:
+    def test_explicit_spool_dir_holds_chunks(self, tmp_path):
+        run = run_dataset(
+            dataset("nz-w2018"), client_queries=300, seed=SEED,
+            stream=True, spool_dir=str(tmp_path),
+        )
+        chunks = list((tmp_path / "nz-w2018").glob("*.npz"))
+        assert chunks, "spool directory should contain chunk archives"
+        assert sum(1 for _ in run.capture.iter_views()) == len(chunks)
+        run.capture.cleanup()
+        assert not list((tmp_path / "nz-w2018").glob("*.npz"))
+
+
+@pytest.mark.slow
+class TestGoldenReports:
+    """The acceptance gate: every figure/table report, generated end to end
+    through the experiment runners, is identical with streaming on and off
+    (rows, series, and notes — telemetry stamps are run-specific)."""
+
+    @pytest.fixture(scope="class")
+    def report_pairs(self):
+        mem_ctx = ExperimentContext(scale=GOLDEN_SCALE, seed=GOLDEN_SEED, stream=False)
+        stream_ctx = ExperimentContext(scale=GOLDEN_SCALE, seed=GOLDEN_SEED, stream=True)
+        return list(zip(collect_all(mem_ctx), collect_all(stream_ctx)))
+
+    def test_reports_cover_every_figure_and_table(self, report_pairs):
+        ids = {mem.experiment_id for mem, __ in report_pairs}
+        for expected in ("table2", "table3", "table4", "table6", "figure6"):
+            assert expected in ids
+        assert any(i.startswith("figure1") for i in ids)
+        assert any(i.startswith("figure3") for i in ids)
+        assert any(i.startswith("figure5") for i in ids)
+        assert any(i.startswith("table5") for i in ids)
+
+    def test_every_report_bit_identical(self, report_pairs):
+        assert report_pairs
+        for mem_report, stream_report in report_pairs:
+            assert mem_report.experiment_id == stream_report.experiment_id
+            prefix = f"${mem_report.experiment_id}"
+            assert_deep_equal(mem_report.rows, stream_report.rows, f"{prefix}.rows")
+            assert_deep_equal(mem_report.series, stream_report.series, f"{prefix}.series")
+            assert_deep_equal(mem_report.notes, stream_report.notes, f"{prefix}.notes")
