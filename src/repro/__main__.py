@@ -9,11 +9,23 @@ Commands
     Simulate one paper dataset and print its headline metrics.
 ``list``
     List available dataset ids.
+``chaos``
+    List named chaos scenarios (list-only: it simulates nothing, so it
+    takes none of the simulation flags below).
+``trace <file>``
+    Summarise an exported trace file: slowest sampled queries and the
+    per-phase critical path.
 
 Observability flags (see README "Observability"): ``-v/-vv`` turn on
 progress/debug logging, ``--telemetry-out PATH`` exports the run's
-telemetry snapshot as JSON, and every simulating command prints a
-phase/counter summary on stderr.
+telemetry snapshot as JSON, ``--metrics-out PATH`` exports it in the
+Prometheus text format, ``--trace-out PATH`` writes sampled per-query
+traces (Chrome-trace JSON, or a JSONL event log when PATH ends in
+``.jsonl``), ``--trace-sample F`` sets the traced fraction (default:
+``REPRO_TRACE`` env; ``--trace-out`` alone implies 1%), and every
+simulating command prints a phase/counter summary on stderr.  The two
+simulating commands (``dataset``, ``experiments``) expose the same flag
+set via a shared helper so availability and help text cannot drift.
 
 Chaos flags (see README "Chaos scenarios"): ``--chaos <scenario>`` runs
 the simulation under a named fault schedule (``--chaos-seed`` varies the
@@ -55,6 +67,25 @@ def _resolve_chaos(args):
     return plan
 
 
+def _resolve_trace(args):
+    """The TraceConfig selected by the trace flags, or None.
+
+    Precedence: an explicit ``--trace-sample`` wins; otherwise the
+    ``REPRO_TRACE`` environment default applies; otherwise ``--trace-out``
+    alone turns tracing on at the 1% default (a trace file with zero
+    traces helps nobody).
+    """
+    from .telemetry import TraceConfig, resolve_trace_config
+
+    sample = getattr(args, "trace_sample", None)
+    if sample is not None:
+        return resolve_trace_config(sample)
+    config = resolve_trace_config(None)
+    if config is None and getattr(args, "trace_out", None):
+        config = TraceConfig(sample=0.01)
+    return config
+
+
 def _check_partial(report, allow_partial: bool) -> int:
     """Exit code for a run report: 0, or EXIT_PARTIAL on shard failures."""
     if report is None or not report.failures:
@@ -81,6 +112,27 @@ def _print_telemetry(snapshot, telemetry_out, title: str) -> None:
     if telemetry_out:
         snapshot.write_json(telemetry_out)
         print(f"wrote telemetry to {telemetry_out}", file=sys.stderr)
+
+
+def _export_observability(args, traces, timeseries, snapshot) -> None:
+    """Write ``--trace-out`` / ``--metrics-out`` artefacts, if requested."""
+    trace_out = getattr(args, "trace_out", None)
+    if trace_out:
+        if traces is None:
+            from .telemetry import TraceBuffer
+
+            traces = TraceBuffer()
+        fmt = traces.write(trace_out, timeseries=timeseries)
+        print(
+            f"wrote {len(traces)} traces ({fmt}) to {trace_out}",
+            file=sys.stderr,
+        )
+    metrics_out = getattr(args, "metrics_out", None)
+    if metrics_out:
+        from .telemetry import write_prometheus
+
+        write_prometheus(snapshot, metrics_out)
+        print(f"wrote Prometheus metrics to {metrics_out}", file=sys.stderr)
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -115,6 +167,13 @@ def _cmd_chaos(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .telemetry import summarize_trace_file
+
+    print(summarize_trace_file(args.trace_file, top=args.top))
+    return 0
+
+
 def _cmd_dataset(args: argparse.Namespace) -> int:
     from dataclasses import replace
 
@@ -128,12 +187,13 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     chaos_plan = _resolve_chaos(args)
     if chaos_plan is not None:
         descriptor = replace(descriptor, fault_plan=chaos_plan)
+    trace_config = _resolve_trace(args)
     scale = configured_scale(0.2) if args.scale is None else args.scale
     volume = int(descriptor.client_queries * scale)
     print(f"simulating {args.dataset_id} ({volume} client queries)...", file=sys.stderr)
     run = run_dataset(
         descriptor, client_queries=volume, seed=args.seed, workers=args.workers,
-        stream=args.stream, spool_dir=args.spool_dir,
+        stream=args.stream, spool_dir=args.spool_dir, trace=trace_config,
     )
     if run.runtime_report is not None:
         print(f"runtime: {run.runtime_report.summary()}", file=sys.stderr)
@@ -176,6 +236,7 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
         count = write_csv(run.capture, args.out)
         print(f"wrote {count} rows to {args.out}", file=sys.stderr)
     _print_telemetry(telemetry, args.telemetry_out, title=args.dataset_id)
+    _export_observability(args, run.traces, run.timeseries, telemetry)
     return partial_exit
 
 
@@ -187,6 +248,7 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         scale=args.scale, seed=args.seed, workers=args.workers,
         fault_plan=_resolve_chaos(args),
         stream=args.stream, spool_dir=args.spool_dir,
+        trace=_resolve_trace(args),
     )
     if ctx.stream:
         print("streaming mode: single-pass aggregates + capture spool",
@@ -198,8 +260,57 @@ def _cmd_experiments(args: argparse.Namespace) -> int:
         print(f"wrote {args.write}", file=sys.stderr)
     else:
         print(content)
-    _print_telemetry(ctx.telemetry.snapshot(), args.telemetry_out, title="experiments")
+    snapshot = ctx.telemetry.snapshot()
+    _print_telemetry(snapshot, args.telemetry_out, title="experiments")
+    _export_observability(args, ctx.traces, ctx.timeseries, snapshot)
     return 0
+
+
+def _add_sim_flags(parser: argparse.ArgumentParser, scale_default: str) -> None:
+    """The flag set shared by every simulating command.
+
+    Both ``dataset`` and ``experiments`` get these with identical help
+    text — keeping availability uniform is the point, so add new
+    simulation flags here, not on one subparser.  (``chaos`` and ``list``
+    are list-only commands and take none of them; ``-v`` lives on the
+    top-level parser and applies everywhere.)
+    """
+    parser.add_argument("--scale", type=float, default=None,
+                        help="volume scale (default: REPRO_SCALE or "
+                             f"{scale_default})")
+    parser.add_argument("--seed", type=int, default=20201027,
+                        help="simulation seed (default: 20201027)")
+    parser.add_argument("--telemetry-out", metavar="PATH",
+                        help="write the run's telemetry snapshot as JSON")
+    parser.add_argument("--metrics-out", metavar="PATH",
+                        help="write the run's telemetry snapshot in the"
+                             " Prometheus text exposition format")
+    parser.add_argument("--trace-out", metavar="PATH",
+                        help="write sampled per-query traces: Chrome-trace"
+                             " JSON, or a JSONL event log if PATH ends in"
+                             " .jsonl (implies --trace-sample 0.01 unless"
+                             " set)")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        metavar="FRACTION",
+                        help="fraction of client queries to trace, 0..1"
+                             " (default: REPRO_TRACE env or off)")
+    parser.add_argument("--workers", type=int, default=None,
+                        help="worker processes for sharded execution"
+                             " (default: REPRO_WORKERS or 1 = serial)")
+    parser.add_argument("--chaos", metavar="SCENARIO", default=None,
+                        help="run under a named fault schedule (see"
+                             " 'repro chaos'; default: REPRO_CHAOS env)")
+    parser.add_argument("--chaos-seed", type=int, default=None,
+                        help="fault-placement seed (default: derived"
+                             " from --seed)")
+    parser.add_argument("--stream", action="store_const", const=True,
+                        default=None,
+                        help="streaming execution: fold the capture into"
+                             " single-pass aggregates + a chunked spool"
+                             " (default: REPRO_STREAM env)")
+    parser.add_argument("--spool-dir", metavar="DIR", default=None,
+                        help="root directory for streaming spool chunks"
+                             " (default: a self-cleaning temp dir)")
 
 
 def main(argv=None) -> int:
@@ -218,63 +329,30 @@ def main(argv=None) -> int:
 
     p_dataset = sub.add_parser("dataset", help="simulate one dataset")
     p_dataset.add_argument("dataset_id")
-    p_dataset.add_argument("--scale", type=float, default=None,
-                           help="volume scale (default: REPRO_SCALE or 0.2)")
-    p_dataset.add_argument("--seed", type=int, default=20201027)
+    _add_sim_flags(p_dataset, scale_default="0.2")
     p_dataset.add_argument("--out", help="write the capture to this CSV path")
-    p_dataset.add_argument("--telemetry-out", metavar="PATH",
-                           help="write the run's telemetry snapshot as JSON")
-    p_dataset.add_argument("--workers", type=int, default=None,
-                           help="worker processes for sharded execution"
-                                " (default: REPRO_WORKERS or 1 = serial)")
-    p_dataset.add_argument("--chaos", metavar="SCENARIO", default=None,
-                           help="run under a named fault schedule (see"
-                                " 'repro chaos'; default: REPRO_CHAOS env)")
-    p_dataset.add_argument("--chaos-seed", type=int, default=None,
-                           help="fault-placement seed (default: derived"
-                                " from --seed)")
     p_dataset.add_argument("--allow-partial", action="store_true",
                            help="exit 0 even when shards failed and the"
                                 " capture is incomplete")
-    p_dataset.add_argument("--stream", action="store_const", const=True,
-                           default=None,
-                           help="streaming execution: fold the capture into"
-                                " single-pass aggregates + a chunked spool"
-                                " (default: REPRO_STREAM env)")
-    p_dataset.add_argument("--spool-dir", metavar="DIR", default=None,
-                           help="root directory for streaming spool chunks"
-                                " (default: a self-cleaning temp dir)")
     p_dataset.set_defaults(func=_cmd_dataset)
 
     p_exp = sub.add_parser("experiments", help="run all paper experiments")
-    p_exp.add_argument("--scale", type=float, default=None,
-                       help="volume scale (default: REPRO_SCALE or 1.0)")
-    p_exp.add_argument("--seed", type=int, default=20201027,
-                       help="simulation seed (default: 20201027)")
+    _add_sim_flags(p_exp, scale_default="1.0")
     p_exp.add_argument("--write", metavar="PATH",
                        help="write the combined report to PATH (markdown)")
-    p_exp.add_argument("--telemetry-out", metavar="PATH",
-                       help="write the session telemetry snapshot as JSON")
-    p_exp.add_argument("--workers", type=int, default=None,
-                       help="worker processes; datasets are simulated"
-                            " concurrently (default: REPRO_WORKERS or 1)")
-    p_exp.add_argument("--chaos", metavar="SCENARIO", default=None,
-                       help="run every dataset under a named fault schedule"
-                            " (default: REPRO_CHAOS env)")
-    p_exp.add_argument("--chaos-seed", type=int, default=None,
-                       help="fault-placement seed (default: derived from"
-                            " --seed)")
-    p_exp.add_argument("--stream", action="store_const", const=True,
-                       default=None,
-                       help="streaming execution for every dataset"
-                            " (default: REPRO_STREAM env)")
-    p_exp.add_argument("--spool-dir", metavar="DIR", default=None,
-                       help="root directory for streaming spool chunks"
-                            " (default: self-cleaning temp dirs)")
     p_exp.set_defaults(func=_cmd_experiments)
 
     p_chaos = sub.add_parser("chaos", help="list chaos scenarios")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_trace = sub.add_parser(
+        "trace", help="summarise an exported trace file"
+    )
+    p_trace.add_argument("trace_file",
+                         help="a --trace-out artefact (.json or .jsonl)")
+    p_trace.add_argument("--top", type=int, default=10,
+                         help="slowest queries to list (default: 10)")
+    p_trace.set_defaults(func=_cmd_trace)
 
     args = parser.parse_args(argv)
     if args.verbose:

@@ -236,6 +236,16 @@ class SpooledCapture:
         on-disk chunking wins)."""
         return self.spool.iter_views()
 
+    def publish_timeseries(self, recorder, chunk_rows: Optional[int] = None) -> None:
+        """Fold the spooled capture's standard rate series into a
+        :class:`~repro.telemetry.timeseries.FlightRecorder`, one on-disk
+        chunk at a time — signature-compatible with
+        :meth:`CaptureStore.publish_timeseries`, and order-insensitive by
+        the flight recorder's integer-sum algebra, so spool chunk order
+        (vs canonical row order) cannot change the frames."""
+        for view in self.iter_views(chunk_rows):
+            recorder.observe_view(view)
+
     def view(self) -> CaptureView:
         """Materialise the full capture in canonical order (cached).
 

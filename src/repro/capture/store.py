@@ -198,6 +198,14 @@ class CaptureStore:
                 float(sizes.max()),
             )
 
+    def publish_timeseries(self, recorder, chunk_rows: int = 65536) -> None:
+        """Fold the capture's standard rate series into a
+        :class:`~repro.telemetry.timeseries.FlightRecorder` — rows per
+        server, responses per rcode, TCP rows — one bounded chunk view at
+        a time (the same O(chunk) discipline as the streaming analyses)."""
+        for view in self.iter_views(chunk_rows):
+            recorder.observe_view(view)
+
     @staticmethod
     def _row_of(record: QueryRecord) -> Tuple:
         family, hi, lo = split_address(record.src)

@@ -31,7 +31,12 @@ from ..runtime import (
     derive_shard_seed,
 )
 from ..sim import DatasetRun, configured_stream, run_dataset
-from ..telemetry import MetricsRegistry
+from ..telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    TraceBuffer,
+    resolve_trace_config,
+)
 from ..workload import PAPER_DATASETS, dataset, monthly_google_descriptor
 
 #: Environment variable scaling all client-query volumes (default 1.0).
@@ -68,6 +73,7 @@ class ExperimentContext:
         fault_plan=None,
         stream: Optional[bool] = None,
         spool_dir: Optional[str] = None,
+        trace=None,
     ):
         self.scale = configured_scale() if scale is None else scale
         self.seed = seed
@@ -83,9 +89,27 @@ class ExperimentContext:
         self.stream = configured_stream() if stream is None else bool(stream)
         #: Root directory for streaming spool chunks (``None`` = temp dirs).
         self.spool_dir = spool_dir
+        #: Trace config applied to every simulation (the CLI's
+        #: ``--trace-sample`` flag / ``REPRO_TRACE``); ``None`` = off.
+        self.trace = resolve_trace_config(trace)
+        #: Session-level trace roll-up: every traced run's buffer merges in
+        #: here (analogous to :attr:`telemetry` for counters).
+        self.traces = TraceBuffer()
+        #: Session-level flight-recorder roll-up (``None`` until a traced
+        #: run lands).
+        self.timeseries: Optional[FlightRecorder] = None
         self._runs: Dict[str, DatasetRun] = {}
         self._attributions: Dict[str, AttributionResult] = {}
         self._analytics: Dict[str, DatasetAnalytics] = {}
+
+    def _adopt_observability(self, run: DatasetRun) -> None:
+        """Merge one run's traces/frames into the session roll-ups."""
+        if run.traces is not None:
+            self.traces.merge(run.traces)
+        if run.timeseries is not None:
+            if self.timeseries is None:
+                self.timeseries = FlightRecorder(run.timeseries.window_s)
+            self.timeseries.merge(run.timeseries)
 
     # -- dataset runs --------------------------------------------------------
 
@@ -110,7 +134,9 @@ class ExperimentContext:
                 client_queries=self._volume(descriptor),
                 telemetry=self.telemetry, workers=self.workers,
                 stream=self.stream, spool_dir=self.spool_dir,
+                trace=self.trace,
             )
+            self._adopt_observability(cached)
             self._runs[dataset_id] = cached
         return cached
 
@@ -124,7 +150,9 @@ class ExperimentContext:
                 client_queries=self._volume(descriptor),
                 telemetry=self.telemetry, workers=self.workers,
                 stream=self.stream, spool_dir=self.spool_dir,
+                trace=self.trace,
             )
+            self._adopt_observability(cached)
             self._runs[descriptor.dataset_id] = cached
         return cached
 
@@ -184,6 +212,8 @@ class ExperimentContext:
                 spool_dir=(
                     str(spools[dataset_id].directory) if self.stream else None
                 ),
+                trace_sample=self.trace.sample if self.trace else 0.0,
+                trace_window_s=self.trace.window_s if self.trace else 3600.0,
             ))
         executor = ShardExecutor(
             RuntimeConfig(workers=self.workers), batch_metrics
@@ -215,6 +245,16 @@ class ExperimentContext:
             run_metrics.merge_snapshot(result.telemetry)
             snapshot = run_metrics.snapshot()
             self.telemetry.merge_snapshot(snapshot)
+            trace_buffer = None
+            flight = None
+            if self.trace is not None:
+                trace_buffer = TraceBuffer(
+                    dataset_id=descriptor.dataset_id, seed=self.seed,
+                    sample=self.trace.sample, base_ts=descriptor.start,
+                )
+                trace_buffer.extend(result.traces)
+                if result.frames is not None:
+                    flight = FlightRecorder.from_dict(result.frames)
             outcome = batch_report.outcomes[index]
             self._runs[dataset_id] = DatasetRun(
                 descriptor=descriptor,
@@ -233,7 +273,10 @@ class ExperimentContext:
                     outcomes=[outcome],
                 ),
                 aggregates=result.aggregates,
+                traces=trace_buffer,
+                timeseries=flight,
             )
+            self._adopt_observability(self._runs[dataset_id])
 
     # -- derived views ---------------------------------------------------------
 

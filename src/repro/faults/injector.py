@@ -29,6 +29,8 @@ import zlib
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
+from ..telemetry import tracing
+from ..telemetry.tracing import mix32
 from .plan import FaultPlan
 
 #: Drop causes, used as the ``cause`` label on ``faults.dropped``.
@@ -136,8 +138,10 @@ class FaultInjector:
 
         CRC32 alone is linear — two seeds differing in the prefix yield
         digests differing by a constant XOR, which a fixed threshold can
-        fail to distinguish — so the digest is scrambled through a murmur3
-        finalizer to avalanche every input bit across the output.
+        fail to distinguish — so the digest is scrambled through
+        :func:`~repro.telemetry.tracing.mix32` (a murmur3 finalizer) to
+        avalanche every input bit across the output.  Trace sampling uses
+        the same idiom with a disjoint domain tag.
         """
         digest = zlib.crc32(
             self._seed_bytes
@@ -147,12 +151,7 @@ class FaultInjector:
             + struct.pack("<d", timestamp)
             + qname_key
         )
-        digest ^= digest >> 16
-        digest = (digest * 0x85EBCA6B) & 0xFFFFFFFF
-        digest ^= digest >> 13
-        digest = (digest * 0xC2B2AE35) & 0xFFFFFFFF
-        digest ^= digest >> 16
-        return digest / _HASH_DENOM
+        return mix32(digest) / _HASH_DENOM
 
     # -- the transport-facing API ----------------------------------------------
 
@@ -173,29 +172,33 @@ class FaultInjector:
         stats.checks += 1
         frac = self.window_frac(timestamp)
 
-        for outage in plan.outages:
-            if outage.covers(server_id, frac):
-                stats.record_drop(CAUSE_OUTAGE)
-                return FaultVerdict(dropped=True, cause=CAUSE_OUTAGE)
-        for blackout in plan.blackouts:
-            if blackout.covers(family, frac):
-                stats.record_drop(CAUSE_BLACKOUT)
-                return FaultVerdict(dropped=True, cause=CAUSE_BLACKOUT)
-        if plan.packet_loss > 0.0 and (
+        cause = None
+        if any(o.covers(server_id, frac) for o in plan.outages):
+            cause = CAUSE_OUTAGE
+        elif any(b.covers(family, frac) for b in plan.blackouts):
+            cause = CAUSE_BLACKOUT
+        elif plan.packet_loss > 0.0 and (
             self._uniform(b"loss", server_id, family, timestamp, qname_key)
             < plan.packet_loss
         ):
-            stats.record_drop(CAUSE_LOSS)
-            return FaultVerdict(dropped=True, cause=CAUSE_LOSS)
-        for storm in plan.storms:
-            if storm.covers(server_id, frac) and (
-                self._uniform(b"storm", server_id, family, timestamp, qname_key)
-                < storm.drop_probability
-            ):
-                stats.record_drop(CAUSE_STORM)
-                return FaultVerdict(dropped=True, cause=CAUSE_STORM)
-
-        return FaultVerdict()
+            cause = CAUSE_LOSS
+        else:
+            for storm in plan.storms:
+                if storm.covers(server_id, frac) and (
+                    self._uniform(b"storm", server_id, family, timestamp, qname_key)
+                    < storm.drop_probability
+                ):
+                    cause = CAUSE_STORM
+                    break
+        if cause is None:
+            return FaultVerdict()
+        stats.record_drop(cause)
+        if tracing.ACTIVE is not None:
+            tracing.ACTIVE.event(
+                timestamp, "fault_drop",
+                {"server": server_id, "family": family, "cause": cause},
+            )
+        return FaultVerdict(dropped=True, cause=cause)
 
     def extra_latency_ms(
         self, server_id: str, timestamp: float, base_rtt_ms: float = 0.0
@@ -216,6 +219,11 @@ class FaultInjector:
         if extra > 0.0:
             self.stats.latency_spikes += 1
             self.stats.extra_latency_ms_total += extra
+            if tracing.ACTIVE is not None:
+                tracing.ACTIVE.event(
+                    timestamp, "fault_latency",
+                    {"server": server_id, "extra_ms": extra},
+                )
         return extra
 
     # -- telemetry --------------------------------------------------------------

@@ -157,6 +157,12 @@ class ShardTask:
     #: Spool directory for streaming chunk files (shared with the parent;
     #: ``None`` = aggregate-only, no row persistence).
     spool_dir: Optional[str] = None
+    #: Trace-sampling rate for this shard (0 = tracing off).  Sampling is
+    #: hash-derived per fleet member, so the same queries are traced no
+    #: matter how members are packed into shards.
+    trace_sample: float = 0.0
+    #: Flight-recorder window width in simulated seconds.
+    trace_window_s: float = 3600.0
 
 
 @dataclass
@@ -179,6 +185,13 @@ class ShardResult:
     aggregates: Optional[object] = None
     chunk_paths: List[str] = field(default_factory=list)
     chunk_row_counts: List[int] = field(default_factory=list)
+    #: Completed trace dicts, in member order (tracing enabled only).  The
+    #: parent extends its buffer in shard-index order, reproducing the
+    #: serial trace sequence exactly — the same merge discipline as rows.
+    traces: List[dict] = field(default_factory=list)
+    #: ``FlightRecorder.as_dict()`` frames (tracing enabled only); integer
+    #: window counts, merged parent-side by plain summation.
+    frames: Optional[dict] = None
 
 
 @dataclass

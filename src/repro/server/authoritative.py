@@ -23,6 +23,7 @@ from ..dnscore.edns import EdnsRecord, effective_udp_limit
 from ..dnscore.rdata import ResourceRecord
 from ..dnscore.message import Flags
 from ..netsim import IPAddress, LatencyModel, Site, nearest_site
+from ..telemetry import tracing
 from ..zones import LookupOutcome, Zone
 from .rrl import RateLimiter, RRLConfig
 
@@ -323,10 +324,28 @@ class AuthoritativeServer:
                 truncated,
                 _NAN if tcp_rtt_ms is None else tcp_rtt_ms,
             ))
+            if tracing.ACTIVE is not None:
+                tracing.ACTIVE.event(
+                    timestamp, "capture_append",
+                    {
+                        "server": self.server_id,
+                        "rcode": rcode,
+                        "bytes": len(wire),
+                        "truncated": truncated,
+                    },
+                )
 
         if plan_key is not None:
             plans = self._plans
             stats.plan_misses += 1
+            # ``runtime`` category, like the ``runtime.*`` counters above:
+            # cache state is per-process, so hit/miss patterns differ across
+            # worker counts and exports drop these events by default.
+            if tracing.ACTIVE is not None:
+                tracing.ACTIVE.event(
+                    timestamp, "plan_cache_miss",
+                    {"server": self.server_id}, cat="runtime",
+                )
             if len(plans) >= PLAN_CACHE_LIMIT:
                 plans.clear()
                 stats.plan_evictions += 1
@@ -363,6 +382,11 @@ class AuthoritativeServer:
         if plan.truncated:
             stats.truncated += 1
         stats.by_rcode[plan.rcode] = stats.by_rcode.get(plan.rcode, 0) + 1
+        if tracing.ACTIVE is not None:
+            tracing.ACTIVE.event(
+                timestamp, "plan_cache_hit",
+                {"server": self.server_id}, cat="runtime",
+            )
 
         if self.capture is not None:
             edns = query.edns
@@ -383,6 +407,16 @@ class AuthoritativeServer:
                 plan.truncated,
                 _NAN if tcp_rtt_ms is None else tcp_rtt_ms,
             ))
+            if tracing.ACTIVE is not None:
+                tracing.ACTIVE.event(
+                    timestamp, "capture_append",
+                    {
+                        "server": self.server_id,
+                        "rcode": plan.rcode,
+                        "bytes": plan.wire_size,
+                        "truncated": plan.truncated,
+                    },
+                )
 
         return Message(
             msg_id=query.msg_id,

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Tuple
 
 from ..netsim import IPAddress
+from ..telemetry import tracing
 
 
 @dataclass
@@ -82,6 +83,12 @@ class RateLimiter:
         self._slip_counters[key] = count
         if self.config.slip > 0 and count % self.config.slip == 0:
             self.stats.slipped += 1
-            return self.SLIP
-        self.stats.dropped += 1
-        return self.DROP
+            verdict = self.SLIP
+        else:
+            self.stats.dropped += 1
+            verdict = self.DROP
+        # Only limited responses are worth a trace event; PASS is the
+        # overwhelmingly common case and stays on the fast path above.
+        if tracing.ACTIVE is not None:
+            tracing.ACTIVE.event(now, "rrl_limited", {"verdict": verdict})
+        return verdict

@@ -70,7 +70,15 @@ from ..runtime import (
     resolve_runtime_config,
 )
 from ..server import AuthoritativeServer, ServerSet
-from ..telemetry import MetricsRegistry, TelemetrySnapshot
+from ..telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    QueryTracer,
+    TelemetrySnapshot,
+    TraceBuffer,
+    TraceConfig,
+    resolve_trace_config,
+)
 from ..workload import DatasetDescriptor, DiurnalPattern, WorkloadGenerator
 from ..zones import (
     DEFAULT_TLDS,
@@ -149,6 +157,11 @@ class DatasetRun:
     telemetry: Optional[TelemetrySnapshot] = None
     runtime_report: Optional[RuntimeReport] = None
     aggregates: Optional[object] = None
+    #: Sampled per-query traces (tracing enabled only), in the serial
+    #: member order regardless of worker count.
+    traces: Optional[TraceBuffer] = None
+    #: Windowed rate frames over simulated time (tracing enabled only).
+    timeseries: Optional[FlightRecorder] = None
 
     @property
     def vantage_server_ids(self) -> List[str]:
@@ -500,6 +513,7 @@ def run_member_range(
     metrics: MetricsRegistry,
     start: int = 0,
     stop: Optional[int] = None,
+    tracer: Optional[QueryTracer] = None,
 ) -> int:
     """Drive client query streams through fleet members ``[start, stop)``.
 
@@ -507,6 +521,11 @@ def run_member_range(
     per-member streams are seeded by global fleet index, so any partition
     of the fleet into ranges produces exactly the union of the serial
     run's per-member traffic.
+
+    ``tracer`` enables sampled per-query tracing.  The sampling decision is
+    a pure hash of ``(seed, global member index, per-member sequence
+    number)``, so the traced population is identical for every shard
+    layout; the untraced path is a separate loop with zero added work.
     """
     descriptor = env.descriptor
     stop = len(env.fleet) if stop is None else stop
@@ -529,6 +548,10 @@ def run_member_range(
     # Counter handles resolved once per provider, not once per member —
     # label-dict construction and registry lookup are off the member loop.
     provider_counters: Dict[str, object] = {}
+    # Traced runs bank client-query timestamps here (a pointer list — the
+    # floats already exist on the query objects) and fold them into the
+    # flight recorder in one vectorised pass per provider at the end.
+    stamps_by_provider: Dict[str, List[float]] = {}
     for index in range(start, stop):
         member = env.fleet[index]
         count = int(round(total_queries * member.weight / total_weight))
@@ -552,6 +575,8 @@ def run_member_range(
             )
         resolve = member.resolver.resolve
         network = env.network
+        member_seq = 0
+        resolver_label = f"{member.pool}/{index}"
         while True:
             # Workload generation and the resolve loop alternate in bounded
             # chunks so both phases are timed separately without holding a
@@ -560,9 +585,36 @@ def run_member_range(
                 chunk = list(itertools.islice(stream, _CHUNK))
             if not chunk:
                 break
-            with metrics.time_phase("resolve"):
-                for query in chunk:
-                    resolve(network, query.timestamp, query.qname, query.qtype)
+            if tracer is None:
+                with metrics.time_phase("resolve"):
+                    for query in chunk:
+                        resolve(network, query.timestamp, query.qname, query.qtype)
+            else:
+                with metrics.time_phase("resolve"):
+                    for query in chunk:
+                        if tracer.sampled(index, member_seq):
+                            trace = tracer.begin(
+                                index, member_seq, resolver_label,
+                                member.provider, query.timestamp,
+                                query.qname.to_text(), int(query.qtype),
+                            )
+                            rcode = resolve(
+                                network, query.timestamp, query.qname, query.qtype
+                            )
+                            tracer.finish(trace, int(rcode))
+                        else:
+                            resolve(
+                                network, query.timestamp, query.qname, query.qtype
+                            )
+                        member_seq += 1
+                # Timestamps are banked per provider and folded into the
+                # flight recorder once after the member loop — one
+                # observe_many per provider instead of one per tiny chunk
+                # (the per-chunk form measurably dragged the traced path).
+                bucket = stamps_by_provider.get(member.provider)
+                if bucket is None:
+                    bucket = stamps_by_provider[member.provider] = []
+                bucket.extend(query.timestamp for query in chunk)
             run_count += len(chunk)
             provider_counter.inc(len(chunk))
             now = time.perf_counter()
@@ -575,6 +627,12 @@ def run_member_range(
                     member.provider, index + 1, len(env.fleet),
                 )
                 last_progress = now
+    if tracer is not None:
+        for provider in sorted(stamps_by_provider):
+            tracer.recorder.observe_many(
+                "sim.client_queries", stamps_by_provider[provider],
+                provider=provider,
+            )
     return run_count
 
 
@@ -600,11 +658,23 @@ def simulate_shard(task: ShardTask) -> ShardResult:
         if task.client_queries is None
         else task.client_queries
     )
-    queries_run = run_member_range(env, total_queries, metrics, task.start, stop)
+    tracer = None
+    if task.trace_sample > 0.0:
+        tracer = QueryTracer(
+            TraceConfig(sample=task.trace_sample, window_s=task.trace_window_s),
+            task.seed, descriptor.dataset_id, base_ts=descriptor.start,
+        )
+    queries_run = run_member_range(
+        env, total_queries, metrics, task.start, stop, tracer
+    )
     _publish_run_metrics(
         metrics, env.fleet[task.start:stop], env.server_sets, env.capture,
         fleet_size=len(env.fleet), faults=env.network.faults,
     )
+    if tracer is not None:
+        # Capture-side series feed before any streaming fold clears the rows.
+        env.capture.publish_timeseries(tracer.recorder)
+        metrics.counter("trace.queries_sampled").inc(len(tracer.traces))
     rows = env.capture.raw_rows()
     rows_appended = env.capture.rows_appended
     aggregates = None
@@ -630,6 +700,8 @@ def simulate_shard(task: ShardTask) -> ShardResult:
         aggregates=aggregates,
         chunk_paths=chunk_paths,
         chunk_row_counts=chunk_row_counts,
+        traces=tracer.traces if tracer is not None else [],
+        frames=tracer.recorder.as_dict() if tracer is not None else None,
     )
     release_environment(env)
     return result
@@ -647,6 +719,7 @@ def run_dataset(
     runtime: Optional[RuntimeConfig] = None,
     stream: Optional[bool] = None,
     spool_dir: Optional[str] = None,
+    trace=None,
 ) -> DatasetRun:
     """Simulate one dataset and return its capture.
 
@@ -678,9 +751,18 @@ def run_dataset(
     :class:`~repro.experiments.context.ExperimentContext`'s) into which
     this run's metrics are merged; the run itself always instruments a
     fresh registry whose snapshot lands on ``DatasetRun.telemetry``.
+
+    ``trace`` (default: the ``REPRO_TRACE`` env var) enables sampled
+    per-query lifecycle tracing: a :class:`~repro.telemetry.TraceConfig`,
+    a bare sample rate in [0, 1], or ``None``.  Sampling decisions are
+    hash-derived (never RNG-stream-based), so enabling tracing changes
+    nothing about the capture; the run then carries
+    ``DatasetRun.traces`` / ``DatasetRun.timeseries``, deterministic
+    across runs and worker counts.
     """
     config = resolve_runtime_config(workers, shard_count, runtime)
     stream = configured_stream() if stream is None else bool(stream)
+    trace_config = resolve_trace_config(trace)
     dataset_spool_dir = (
         os.path.join(spool_dir, descriptor.dataset_id) if spool_dir else None
     )
@@ -728,6 +810,8 @@ def run_dataset(
                 stop=shard.stop,
                 stream=stream,
                 spool_dir=worker_spool_dir,
+                trace_sample=trace_config.sample if trace_config else 0.0,
+                trace_window_s=trace_config.window_s if trace_config else 3600.0,
             )
             for shard in plan
         ]
@@ -777,16 +861,37 @@ def run_dataset(
                         capture.rows_appended / resolve_s
                     )
         queries_run = sum(result.queries_run for result in results)
+        trace_buffer = None
+        flight = None
+        if trace_config is not None:
+            trace_buffer = TraceBuffer(
+                dataset_id=descriptor.dataset_id, seed=seed,
+                sample=trace_config.sample, base_ts=descriptor.start,
+            )
+            # Shard-index order = contiguous fleet ranges in order = the
+            # serial trace sequence; frames merge by integer summation.
+            for result in results:
+                trace_buffer.extend(result.traces)
+            flight = FlightRecorder.merge_all(
+                FlightRecorder.from_dict(result.frames)
+                for result in results if result.frames is not None
+            )
     else:
         runtime_report = RuntimeReport(
             mode="serial", workers=1, shard_count=len(plan)
         )
+        tracer = None
+        if trace_config is not None:
+            tracer = QueryTracer(
+                trace_config, seed, descriptor.dataset_id,
+                base_ts=descriptor.start,
+            )
         queries_run = 0
         with metrics.time_phase("runtime.execute"):
             for shard in plan:
                 shard_started = time.perf_counter()
                 shard_queries = run_member_range(
-                    env, total_queries, metrics, shard.start, shard.stop
+                    env, total_queries, metrics, shard.start, shard.stop, tracer
                 )
                 shard_elapsed = time.perf_counter() - shard_started
                 metrics.observe_phase(f"runtime.shard.{shard.index}", shard_elapsed)
@@ -803,6 +908,15 @@ def run_dataset(
             metrics, env.fleet, env.server_sets, env.capture,
             fleet_size=len(env.fleet), faults=env.network.faults,
         )
+        trace_buffer = None
+        flight = None
+        if tracer is not None:
+            # Capture-side series feed must precede any streaming fold,
+            # which releases the resident rows.
+            env.capture.publish_timeseries(tracer.recorder)
+            metrics.counter("trace.queries_sampled").inc(len(tracer.traces))
+            trace_buffer = tracer.buffer()
+            flight = tracer.recorder
         if stream:
             from ..capture import SpooledCapture
 
@@ -839,4 +953,6 @@ def run_dataset(
         telemetry=snapshot,
         runtime_report=runtime_report,
         aggregates=aggregates,
+        traces=trace_buffer,
+        timeseries=flight,
     )

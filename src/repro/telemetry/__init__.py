@@ -17,9 +17,30 @@ Quick use::
     snap = metrics.snapshot()
     snap.write_json("telemetry.json")
     print(format_summary(snap))
+
+Three sibling layers build on the registry (PR 6):
+:mod:`~repro.telemetry.tracing` records sampled per-query lifecycle
+traces with deterministic hash-derived sampling,
+:mod:`~repro.telemetry.timeseries` buckets metrics into windowed
+rate-over-sim-time frames, and :mod:`~repro.telemetry.exposition` renders
+snapshots in the Prometheus text format for the future live-serve mode.
 """
 
+from .exposition import to_prometheus, write_prometheus
 from .logs import configure_logging, format_summary
+from .timeseries import FlightRecorder
+from .tracing import (
+    QueryTrace,
+    QueryTracer,
+    TraceBuffer,
+    TraceConfig,
+    configured_trace_sample,
+    hash_uniform,
+    mix32,
+    read_trace_file,
+    resolve_trace_config,
+    summarize_trace_file,
+)
 from .registry import (
     Counter,
     DEFAULT_BUCKETS,
@@ -35,13 +56,26 @@ from .registry import (
 __all__ = [
     "Counter",
     "DEFAULT_BUCKETS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "PhaseStat",
+    "QueryTrace",
+    "QueryTracer",
     "TelemetrySnapshot",
+    "TraceBuffer",
+    "TraceConfig",
     "configure_logging",
+    "configured_trace_sample",
     "format_summary",
+    "hash_uniform",
     "metric_key",
+    "mix32",
+    "read_trace_file",
+    "resolve_trace_config",
     "split_key",
+    "summarize_trace_file",
+    "to_prometheus",
+    "write_prometheus",
 ]

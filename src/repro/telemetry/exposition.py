@@ -1,0 +1,163 @@
+"""Prometheus text-format exposition of telemetry snapshots.
+
+Renders a :class:`~repro.telemetry.registry.TelemetrySnapshot` in the
+Prometheus text exposition format (version 0.0.4) — the contract the
+ROADMAP's future ``repro serve`` live mode will speak on its ``/metrics``
+endpoint.  Until then the CLI's ``--metrics-out x.prom`` writes the same
+bytes at end of run, so dashboards and scrape-format consumers can be
+built against batch output today.
+
+Mapping:
+
+* counters → ``repro_<name>_total`` counter families, labels preserved;
+* gauges → ``repro_<name>`` gauges;
+* histograms → cumulative ``_bucket{le=...}`` series (our buckets are
+  upper-inclusive, matching Prometheus ``le`` semantics exactly) plus
+  ``_sum``/``_count``;
+* phase timers → ``repro_phase_seconds_total``/``repro_phase_spans_total``
+  counters and a ``repro_phase_max_seconds`` gauge, labelled by phase.
+
+Metric and label names are sanitised to the ``[a-zA-Z0-9_:]`` alphabet
+(dots become underscores); label values use the Prometheus escaping rules
+(backslash, double-quote, newline).  Output is fully sorted, so the same
+snapshot always renders byte-identical text.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, List, Mapping, Tuple
+
+from .registry import TelemetrySnapshot, split_key
+
+__all__ = ["to_prometheus", "write_prometheus"]
+
+#: Prefix for every exposed metric family.
+NAMESPACE = "repro"
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def _metric_name(name: str) -> str:
+    """Sanitise a dotted metric name into a Prometheus family name."""
+    cleaned = _NAME_OK.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return f"{NAMESPACE}_{cleaned}"
+
+
+def _label_name(name: str) -> str:
+    cleaned = _LABEL_OK.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_value(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _labels_text(labels: Mapping[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{_label_name(key)}="{_escape_value(str(labels[key]))}"'
+        for key in sorted(labels)
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value) -> str:
+    number = float(value)
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def _group_by_family(flat: Mapping[str, object]) -> Dict[str, List[Tuple[Dict[str, str], object]]]:
+    """Group flat ``name{labels}`` keys into per-family sample lists."""
+    families: Dict[str, List[Tuple[Dict[str, str], object]]] = {}
+    for key in sorted(flat):
+        name, labels = split_key(key)
+        families.setdefault(name, []).append((labels, flat[key]))
+    return families
+
+
+def to_prometheus(snapshot: TelemetrySnapshot) -> str:
+    """Render one snapshot as Prometheus text exposition (deterministic)."""
+    lines: List[str] = []
+
+    for name, samples in sorted(_group_by_family(snapshot.counters).items()):
+        family = _metric_name(name) + "_total"
+        lines.append(f"# HELP {family} repro counter {name}")
+        lines.append(f"# TYPE {family} counter")
+        for labels, value in samples:
+            lines.append(f"{family}{_labels_text(labels)} {_format_value(value)}")
+
+    for name, samples in sorted(_group_by_family(snapshot.gauges).items()):
+        family = _metric_name(name)
+        lines.append(f"# HELP {family} repro gauge {name}")
+        lines.append(f"# TYPE {family} gauge")
+        for labels, value in samples:
+            lines.append(f"{family}{_labels_text(labels)} {_format_value(value)}")
+
+    for name, samples in sorted(_group_by_family(snapshot.histograms).items()):
+        family = _metric_name(name)
+        lines.append(f"# HELP {family} repro histogram {name}")
+        lines.append(f"# TYPE {family} histogram")
+        for labels, data in samples:
+            # Our buckets are upper-inclusive with an overflow slot, which
+            # is exactly the cumulative `le` contract once summed.
+            cumulative = 0
+            for bound, count in zip(data["bounds"], data["bucket_counts"]):
+                cumulative += int(count)
+                bucket_labels = dict(labels, le=_format_value(bound))
+                lines.append(
+                    f"{family}_bucket{_labels_text(bucket_labels)} {cumulative}"
+                )
+            total = int(data["count"])
+            inf_labels = dict(labels, le="+Inf")
+            lines.append(f"{family}_bucket{_labels_text(inf_labels)} {total}")
+            lines.append(
+                f"{family}_sum{_labels_text(labels)} {_format_value(data['sum'])}"
+            )
+            lines.append(f"{family}_count{_labels_text(labels)} {total}")
+
+    if snapshot.phases:
+        seconds = f"{NAMESPACE}_phase_seconds_total"
+        spans = f"{NAMESPACE}_phase_spans_total"
+        peak = f"{NAMESPACE}_phase_max_seconds"
+        lines.append(f"# HELP {seconds} total wall seconds per pipeline phase")
+        lines.append(f"# TYPE {seconds} counter")
+        for name in sorted(snapshot.phases):
+            stat = snapshot.phases[name]
+            lines.append(
+                f"{seconds}{_labels_text({'phase': name})}"
+                f" {_format_value(stat['total_s'])}"
+            )
+        lines.append(f"# HELP {spans} recorded spans per pipeline phase")
+        lines.append(f"# TYPE {spans} counter")
+        for name in sorted(snapshot.phases):
+            stat = snapshot.phases[name]
+            lines.append(
+                f"{spans}{_labels_text({'phase': name})}"
+                f" {_format_value(stat['count'])}"
+            )
+        lines.append(f"# HELP {peak} longest single span per pipeline phase")
+        lines.append(f"# TYPE {peak} gauge")
+        for name in sorted(snapshot.phases):
+            stat = snapshot.phases[name]
+            lines.append(
+                f"{peak}{_labels_text({'phase': name})}"
+                f" {_format_value(stat['max_s'])}"
+            )
+
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus(snapshot: TelemetrySnapshot, path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(to_prometheus(snapshot))

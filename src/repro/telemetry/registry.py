@@ -35,24 +35,72 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 logger = logging.getLogger("repro.telemetry")
 
 
+#: Characters with structural meaning inside a flat key's ``{...}`` block.
+#: They are backslash-escaped in label keys/values so that arbitrary label
+#: content (qnames, provider strings, file paths) round-trips through
+#: :func:`metric_key`/:func:`split_key` losslessly.
+_KEY_SPECIALS = ",={}\\"
+
+
+def _escape_label(text: str) -> str:
+    if not any(ch in _KEY_SPECIALS for ch in text):
+        return text
+    return "".join("\\" + ch if ch in _KEY_SPECIALS else ch for ch in text)
+
+
 def metric_key(name: str, labels: Mapping[str, object]) -> str:
-    """Canonical flat key: ``name`` or ``name{k=v,...}`` (keys sorted)."""
+    """Canonical flat key: ``name`` or ``name{k=v,...}`` (keys sorted).
+
+    Structural characters (``, = { } \\``) appearing in label keys or
+    values are backslash-escaped, so any string label survives the
+    :func:`split_key` round-trip.
+    """
     if not labels:
         return name
-    inner = ",".join(f"{key}={labels[key]}" for key in sorted(labels))
+    inner = ",".join(
+        f"{_escape_label(key)}={_escape_label(str(labels[key]))}"
+        for key in sorted(labels)
+    )
     return f"{name}{{{inner}}}"
 
 
 def split_key(key: str) -> Tuple[str, Dict[str, str]]:
-    """Inverse of :func:`metric_key` (label values come back as strings)."""
+    """Inverse of :func:`metric_key` (label values come back as strings).
+
+    Honours the backslash escapes :func:`metric_key` writes; the first
+    unescaped ``{`` opens the label block, so metric names themselves must
+    not contain ``{`` (they are code-controlled dotted identifiers).
+    """
     if not key.endswith("}") or "{" not in key:
         return key, {}
     name, _, inner = key[:-1].partition("{")
     labels: Dict[str, str] = {}
-    for part in inner.split(","):
-        if part:
-            label, _, value = part.partition("=")
-            labels[label] = value
+    current: List[str] = []
+    label: Optional[str] = None
+    i, end = 0, len(inner)
+    while i < end:
+        ch = inner[i]
+        if ch == "\\" and i + 1 < end:
+            current.append(inner[i + 1])
+            i += 2
+            continue
+        if ch == "=" and label is None:
+            label = "".join(current)
+            current = []
+        elif ch == ",":
+            if label is not None or current:
+                labels["".join(current) if label is None else label] = (
+                    "" if label is None else "".join(current)
+                )
+            label = None
+            current = []
+        else:
+            current.append(ch)
+        i += 1
+    if label is not None:
+        labels[label] = "".join(current)
+    elif current:
+        labels["".join(current)] = ""
     return name, labels
 
 

@@ -1,0 +1,170 @@
+"""Time-series flight recorder: windowed rate frames over simulated time.
+
+Whole-run counter totals (PR 1's :class:`MetricsRegistry`) answer *how
+much*; the paper's claims are about *when* — concentration over time,
+diurnal query rates, transport splits per capture window.  The
+:class:`FlightRecorder` buckets observations into fixed-width simulated
+time windows so any ``repro.*`` metric becomes a rate-over-time series.
+
+The representation is deliberately an exact integer algebra: each series
+is ``{window index → count}`` where the window index is
+``floor(ts / window_s)``.  Integer sums are associative, commutative, and
+partition-insensitive, so shard frames shipped in ``ShardResult`` merge
+into exactly the serial run's frames regardless of worker count or merge
+order — the same algebra contract :mod:`repro.analysis.streaming`
+aggregators satisfy (see ``tests/test_telemetry_algebra.py``).
+
+Series are keyed with :func:`~repro.telemetry.registry.metric_key`, so
+the label round-trip guarantees there apply here too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+from .registry import metric_key, split_key
+
+__all__ = ["FlightRecorder"]
+
+
+class FlightRecorder:
+    """Windowed counts per metric key, mergeable across shards.
+
+    ``window_s`` is the bucket width in simulated seconds (default one
+    hour — the capture-window granularity the paper's time-series use).
+    """
+
+    def __init__(self, window_s: float = 3600.0):
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        self.window_s = float(window_s)
+        self._series: Dict[str, Dict[int, int]] = {}
+
+    # -- recording --------------------------------------------------------------
+
+    def observe(self, name: str, ts: float, count: int = 1, **labels) -> None:
+        """Add ``count`` occurrences at simulated time ``ts``."""
+        key = metric_key(name, labels)
+        window = int(np.floor(ts / self.window_s))
+        series = self._series.setdefault(key, {})
+        series[window] = series.get(window, 0) + int(count)
+
+    def observe_many(self, name: str, timestamps, **labels) -> None:
+        """Bulk-add one occurrence per timestamp (vectorised)."""
+        values = np.asarray(timestamps, dtype=np.float64)
+        if values.size == 0:
+            return
+        windows = np.floor(values / self.window_s).astype(np.int64)
+        uniq, counts = np.unique(windows, return_counts=True)
+        key = metric_key(name, labels)
+        series = self._series.setdefault(key, {})
+        for window, count in zip(uniq.tolist(), counts.tolist()):
+            series[window] = series.get(window, 0) + int(count)
+
+    def observe_view(self, view) -> None:
+        """Fold one capture view into the standard capture series.
+
+        Records rows per server (``capture.rows{server=...}``), responses
+        per rcode (``capture.responses{rcode=...}``), and TCP rows
+        (``capture.tcp_rows``) — enough to reconstruct the paper-style
+        rate/transport time-series from the flight recorder alone.
+        Vectorised per chunk; pair with ``iter_views`` for bounded memory.
+        """
+        if len(view) == 0:
+            return
+        ts = view.timestamp
+        for server_id in sorted(set(view.server_id.tolist())):
+            self.observe_many(
+                "capture.rows", ts[view.server_id == server_id],
+                server=server_id,
+            )
+        rcodes = view.rcode
+        for rcode in sorted(set(rcodes.tolist())):
+            self.observe_many(
+                "capture.responses", ts[rcodes == rcode], rcode=int(rcode)
+            )
+        tcp = view.transport == 1
+        if tcp.any():
+            self.observe_many("capture.tcp_rows", ts[tcp])
+
+    # -- merge algebra ----------------------------------------------------------
+
+    def merge(self, other: "FlightRecorder") -> None:
+        """Fold another recorder's frames in (associative, commutative)."""
+        if other.window_s != self.window_s:
+            raise ValueError(
+                f"cannot merge flight recorders with different windows "
+                f"({self.window_s} vs {other.window_s})"
+            )
+        for key, frames in other._series.items():
+            series = self._series.setdefault(key, {})
+            for window, count in frames.items():
+                series[window] = series.get(window, 0) + count
+
+    # -- reading ----------------------------------------------------------------
+
+    def keys(self) -> List[str]:
+        return sorted(self._series)
+
+    def series(self, name: str, **labels) -> List[Tuple[float, int, float]]:
+        """Sorted ``(window start, count, rate per second)`` for one key."""
+        frames = self._series.get(metric_key(name, labels), {})
+        return [
+            (window * self.window_s, count, count / self.window_s)
+            for window, count in sorted(frames.items())
+        ]
+
+    def total(self, name: str, **labels) -> int:
+        return sum(self._series.get(metric_key(name, labels), {}).values())
+
+    def family_total(self, name: str) -> int:
+        """Total across every label combination of ``name``."""
+        return sum(
+            sum(frames.values())
+            for key, frames in self._series.items()
+            if split_key(key)[0] == name
+        )
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, FlightRecorder):
+            return NotImplemented
+        return self.window_s == other.window_s and self._series == other._series
+
+    # -- shipping ---------------------------------------------------------------
+
+    def as_dict(self) -> dict:
+        """JSON/pickle-safe frames (window indices become string keys)."""
+        return {
+            "window_s": self.window_s,
+            "series": {
+                key: {str(window): count for window, count in sorted(frames.items())}
+                for key, frames in sorted(self._series.items())
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Optional[dict]) -> "FlightRecorder":
+        recorder = cls(window_s=float(payload["window_s"]) if payload else 3600.0)
+        if payload:
+            for key, frames in payload["series"].items():
+                recorder._series[key] = {
+                    int(window): int(count) for window, count in frames.items()
+                }
+        return recorder
+
+    @classmethod
+    def merge_all(cls, recorders: Iterable["FlightRecorder"]) -> Optional["FlightRecorder"]:
+        """Fold shard recorders in order; ``None`` when there are none."""
+        merged: Optional[FlightRecorder] = None
+        for recorder in recorders:
+            if recorder is None:
+                continue
+            if merged is None:
+                merged = cls(window_s=recorder.window_s)
+            merged.merge(recorder)
+        return merged

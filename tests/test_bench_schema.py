@@ -1,0 +1,57 @@
+"""Schema check for committed benchmark artefacts.
+
+Every ``benchmarks/BENCH_*.json`` is a machine-read perf record that CI
+and later sessions compare against; a malformed or key-stripped artefact
+would silently break those comparisons.  This guard asserts each file
+parses and carries the shared contract keys (``dataset`` naming the
+simulated workload, ``generated_unix`` timestamping the run) — the
+session-telemetry roll-up (``BENCH_telemetry.json``) is the one artefact
+keyed by session rather than dataset and is only held to the timestamp.
+"""
+
+import glob
+import json
+import os
+
+import pytest
+
+BENCH_DIR = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), os.pardir, "benchmarks"
+)
+
+#: Keys every per-benchmark artefact must carry.
+REQUIRED_KEYS = ("dataset", "generated_unix")
+
+#: Artefacts keyed by session, not by a single dataset.
+SESSION_LEVEL = {"BENCH_telemetry.json"}
+
+
+def bench_paths():
+    return sorted(glob.glob(os.path.join(BENCH_DIR, "BENCH_*.json")))
+
+
+def test_benchmark_artifacts_exist():
+    names = {os.path.basename(path) for path in bench_paths()}
+    assert {"BENCH_hotpath.json", "BENCH_parallel.json",
+            "BENCH_streaming.json"} <= names
+
+
+@pytest.mark.parametrize(
+    "path", bench_paths(), ids=[os.path.basename(p) for p in bench_paths()]
+)
+def test_benchmark_artifact_schema(path):
+    with open(path) as handle:
+        data = json.load(handle)
+    assert isinstance(data, dict), f"{path}: top level must be an object"
+
+    generated = data.get("generated_unix")
+    assert isinstance(generated, (int, float)) and generated > 0, (
+        f"{path}: generated_unix must be a positive unix timestamp"
+    )
+
+    if os.path.basename(path) in SESSION_LEVEL:
+        return
+    dataset = data.get("dataset")
+    assert isinstance(dataset, str) and dataset, (
+        f"{path}: dataset must name the simulated workload"
+    )

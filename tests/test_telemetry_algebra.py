@@ -1,0 +1,297 @@
+"""Telemetry merge algebra: the laws the shard roll-up relies on.
+
+``merge_snapshot`` is to telemetry what aggregator ``merge`` is to the
+streaming analyses (``tests/test_streaming_algebra.py``): the pooled
+runtime folds per-shard snapshots, trace buffers, and flight-recorder
+frames into parent-side state, and that fold is only correct if feeding a
+partition-by-partition equals feeding whole, merge is order-insensitive
+(for everything except last-write-wins gauges), and merge is associative.
+
+Also here: the :func:`metric_key`/:func:`split_key` round-trip property —
+label values are arbitrary strings (qnames, paths), so the structural
+characters ``, = { } \\`` must survive the flat-key encoding.
+
+All generated quantities are integers or small dyadic rationals (k/8) so
+float accumulation is exact and bit-equality is the right comparison.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.telemetry import (
+    FlightRecorder,
+    MetricsRegistry,
+    TraceBuffer,
+    metric_key,
+    split_key,
+)
+
+# -- metric_key / split_key round-trip -----------------------------------------
+
+name_st = st.from_regex(r"[a-z][a-z0-9_.]{0,20}", fullmatch=True)
+
+#: Label text with the structural specials well represented.
+label_text_st = st.text(
+    alphabet=st.sampled_from(list(",={}\\") + list("abcXYZ09._ /\"'\n")),
+    max_size=12,
+)
+
+labels_st = st.dictionaries(label_text_st, label_text_st, max_size=4)
+
+
+class TestKeyRoundTrip:
+    @settings(max_examples=200, deadline=None)
+    @given(name_st, labels_st)
+    def test_split_inverts_metric_key(self, name, labels):
+        key = metric_key(name, labels)
+        assert split_key(key) == (name, labels)
+
+    def test_structural_characters_in_values(self):
+        labels = {"qname": "a{b}=c,d\\e.nl.", "p,ath": "x=y"}
+        name, back = split_key(metric_key("m.n", labels))
+        assert name == "m.n"
+        assert back == labels
+
+    def test_unlabelled_key_round_trips(self):
+        assert split_key(metric_key("plain.name", {})) == ("plain.name", {})
+
+    def test_registry_instruments_survive_odd_labels(self):
+        metrics = MetricsRegistry()
+        odd = "v=1,w{2}\\"
+        metrics.counter("family", tag=odd).inc(5)
+        snap = metrics.snapshot()
+        assert snap.counter("family", tag=odd) == 5
+        assert snap.total("family") == 5
+        assert snap.by_label("family", "tag") == {odd: 5}
+
+
+# -- snapshot merge algebra ----------------------------------------------------
+
+#: One registry operation.  Eighth-steps keep float sums exact, so merged
+#: registries can be compared bit-for-bit.
+op_st = st.one_of(
+    st.tuples(
+        st.just("counter"),
+        st.sampled_from(["a.hits", "a.misses", "b.rows"]),
+        st.sampled_from([{}, {"provider": "Google"}, {"provider": "Ox,{d}"}]),
+        st.integers(1, 9),
+    ),
+    st.tuples(
+        st.just("phase"),
+        st.sampled_from(["resolve", "workload"]),
+        st.integers(0, 64).map(lambda k: k / 8.0),
+    ),
+    st.tuples(
+        st.just("hist"),
+        st.sampled_from(["sizes"]),
+        st.integers(0, 2048).map(float),
+    ),
+    st.tuples(
+        st.just("gauge"),
+        st.sampled_from(["g.level"]),
+        st.integers(0, 100).map(float),
+    ),
+)
+
+ops_parts_st = st.lists(st.lists(op_st, max_size=12), min_size=1, max_size=4)
+
+
+def apply_ops(metrics, ops):
+    for op in ops:
+        kind = op[0]
+        if kind == "counter":
+            _, name, labels, amount = op
+            metrics.counter(name, **labels).inc(amount)
+        elif kind == "phase":
+            metrics.observe_phase(op[1], op[2])
+        elif kind == "hist":
+            metrics.histogram(op[1]).observe(op[2])
+        else:
+            metrics.gauge(op[1]).set(op[2])
+
+
+def snap_of(parts):
+    """Snapshot of all parts applied to one registry, in order."""
+    metrics = MetricsRegistry()
+    for part in parts:
+        apply_ops(metrics, part)
+    return metrics.snapshot()
+
+
+def shard_snaps(parts):
+    shards = []
+    for part in parts:
+        metrics = MetricsRegistry()
+        apply_ops(metrics, part)
+        shards.append(metrics.snapshot())
+    return shards
+
+
+def mergeable(snapshot):
+    """The order-insensitive portion of a snapshot (gauges are
+    last-write-wins by design, so they are excluded)."""
+    data = snapshot.as_dict()
+    data.pop("gauges")
+    return data
+
+
+class TestMergeSnapshotAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(ops_parts_st)
+    def test_partition_merge_equals_whole(self, parts):
+        merged = MetricsRegistry()
+        for snap in shard_snaps(parts):
+            merged.merge_snapshot(snap)
+        # In-order merge reproduces everything, gauges included: the last
+        # partition's write is the whole run's last write.
+        assert merged.snapshot().as_dict() == snap_of(parts).as_dict()
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops_parts_st)
+    def test_merge_is_order_insensitive(self, parts):
+        snaps = shard_snaps(parts)
+        forward, backward = MetricsRegistry(), MetricsRegistry()
+        for snap in snaps:
+            forward.merge_snapshot(snap)
+        for snap in reversed(snaps):
+            backward.merge_snapshot(snap)
+        assert mergeable(forward.snapshot()) == mergeable(backward.snapshot())
+
+    @settings(max_examples=40, deadline=None)
+    @given(ops_parts_st)
+    def test_merge_is_associative(self, parts):
+        while len(parts) < 3:
+            parts = parts + [[]]
+        a, b, c = shard_snaps(parts[:3])
+
+        left = MetricsRegistry()
+        left.merge_snapshot(a)
+        left.merge_snapshot(b)
+        left_snap = left.snapshot()
+        left2 = MetricsRegistry()
+        left2.merge_snapshot(left_snap)
+        left2.merge_snapshot(c)
+
+        tail = MetricsRegistry()
+        tail.merge_snapshot(b)
+        tail.merge_snapshot(c)
+        right = MetricsRegistry()
+        right.merge_snapshot(a)
+        right.merge_snapshot(tail.snapshot())
+
+        assert mergeable(left2.snapshot()) == mergeable(right.snapshot())
+
+    def test_histogram_merge_rejects_mismatched_bounds(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("h", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("h", buckets=(1.0, 4.0)).observe(1.5)
+        with pytest.raises(ValueError):
+            a.merge_snapshot(b.snapshot())
+
+
+# -- flight-recorder frame algebra ---------------------------------------------
+
+obs_st = st.tuples(
+    st.sampled_from(["q.rate", "drops"]),
+    st.floats(0.0, 5e5, allow_nan=False),
+    st.integers(1, 5),
+    st.sampled_from([{}, {"server": "nl-a"}, {"server": "x,=y"}]),
+)
+
+obs_parts_st = st.lists(st.lists(obs_st, max_size=15), min_size=1, max_size=4)
+
+
+def recorder_of(observations):
+    recorder = FlightRecorder(window_s=3600.0)
+    for name, ts, count, labels in observations:
+        recorder.observe(name, ts, count=count, **labels)
+    return recorder
+
+
+class TestFlightRecorderAlgebra:
+    @settings(max_examples=40, deadline=None)
+    @given(obs_parts_st)
+    def test_partition_merge_equals_whole(self, parts):
+        whole = recorder_of([obs for part in parts for obs in part])
+        merged = FlightRecorder.merge_all(recorder_of(part) for part in parts)
+        assert merged == whole
+
+    @settings(max_examples=40, deadline=None)
+    @given(obs_parts_st)
+    def test_merge_is_order_insensitive(self, parts):
+        shards = [recorder_of(part) for part in parts]
+        forward = FlightRecorder.merge_all(shards)
+        backward = FlightRecorder.merge_all(reversed(shards))
+        assert forward == backward
+
+    @settings(max_examples=40, deadline=None)
+    @given(obs_parts_st)
+    def test_ship_and_merge_round_trips(self, parts):
+        """The cross-process path: as_dict → from_dict per shard, then
+        merge, equals observing everything locally."""
+        whole = recorder_of([obs for part in parts for obs in part])
+        merged = FlightRecorder.merge_all(
+            FlightRecorder.from_dict(recorder_of(part).as_dict())
+            for part in parts
+        )
+        assert merged == whole
+        assert merged.as_dict() == whole.as_dict()
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(obs_st, max_size=20))
+    def test_family_total_sums_label_combinations(self, observations):
+        recorder = recorder_of(observations)
+        expected = sum(
+            count for name, _ts, count, _labels in observations
+            if name == "q.rate"
+        )
+        assert recorder.family_total("q.rate") == expected
+
+
+# -- trace-buffer shard order --------------------------------------------------
+
+
+def fake_trace(index, seq, provider="P"):
+    begin = float(index)
+    return {
+        "id": f"{index}:{seq}", "resolver_index": index, "seq": seq,
+        "resolver_id": f"r{index}", "provider": provider, "qname": "q.nl.",
+        "qtype": 1, "rcode": 0, "begin": begin, "end": begin + 0.25,
+        "events": [[begin, "sim", "cache_miss", 0.0, None]],
+        "events_dropped": 0,
+    }
+
+
+class TestTraceBufferMerge:
+    def test_shard_order_extend_equals_whole(self):
+        traces = [fake_trace(i, s) for i in range(6) for s in range(2)]
+        whole = TraceBuffer(dataset_id="d", traces=list(traces))
+        sharded = TraceBuffer(dataset_id="d")
+        for start in range(0, len(traces), 4):
+            sharded.extend(traces[start:start + 4])
+        assert sharded.traces == whole.traces
+        assert [t["id"] for t in sharded.slowest(3)] == [
+            t["id"] for t in whole.slowest(3)
+        ]
+        assert sharded.phase_totals() == whole.phase_totals()
+
+    def test_cross_dataset_merge_stamps_origin(self):
+        a = TraceBuffer(dataset_id="a", traces=[fake_trace(0, 0)])
+        b = TraceBuffer(dataset_id="b", traces=[fake_trace(1, 0)])
+        session = TraceBuffer()
+        session.merge(a)
+        session.merge(b)
+        assert session.dataset_id == "a"
+        assert len(session) == 2
+        assert "dataset" not in session.traces[0]
+        assert session.traces[1]["dataset"] == "b"
+
+    def test_durations_and_slowest_are_deterministic(self):
+        traces = [fake_trace(i, 0) for i in range(5)]
+        traces[2]["end"] = traces[2]["begin"] + 9.0
+        # A duration tie between index 0 and 1 resolves in buffer order.
+        traces[1]["end"] = traces[1]["begin"] + 0.25
+        buffer = TraceBuffer(traces=traces)
+        assert buffer.slowest(1)[0]["id"] == "2:0"
+        ranked = buffer.slowest(3)
+        assert [t["id"] for t in ranked] == ["2:0", "0:0", "1:0"]
