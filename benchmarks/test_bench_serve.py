@@ -1,0 +1,122 @@
+"""Benchmark: the live service mode end to end over real loopback sockets.
+
+Boots ``repro serve`` in-process (ephemeral UDP/TCP ports, no metrics
+listener), fires the built-in load generator at it, and writes
+``BENCH_serve.json`` next to this file: sustained queries/sec over the
+socket path, p50/p99 client-observed latency, and the answered fraction.
+The acceptance bar of the live mode is asserted here too — at least 99%
+of a mixed UDP/TCP burst answered with byte-valid responses.
+
+``REPRO_SERVE_MIN_QPS`` optionally sets an absolute queries/sec floor
+(for CI boxes with known capacity).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.service import DnsService, LoadGenConfig, ServiceConfig, run_loadgen
+
+BENCH_SERVE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_serve.json"
+)
+
+DATASET = "nl-w2020"
+SEED = 20201027
+QUERIES = 2_000
+CONCURRENCY = 64
+TCP_FRACTION = 0.1
+MIN_QPS_ENV = "REPRO_SERVE_MIN_QPS"
+
+
+def test_bench_serve():
+    async def scenario():
+        service = DnsService(
+            ServiceConfig(
+                dataset_id=DATASET,
+                udp_port=0,
+                metrics_port=None,
+                seed=SEED,
+            )
+        )
+        await service.start()
+        try:
+            # Warm the response-plan cache so the timed burst measures the
+            # steady state, not first-touch plan construction.
+            await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port,
+                    queries=300,
+                    concurrency=CONCURRENCY,
+                    timeout_s=5.0,
+                )
+            )
+            report = await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port,
+                    tcp_port=service.tcp_port,
+                    queries=QUERIES,
+                    concurrency=CONCURRENCY,
+                    tcp_fraction=TCP_FRACTION,
+                    timeout_s=5.0,
+                )
+            )
+        finally:
+            snapshot = await service.stop()
+        return report, snapshot
+
+    report, snapshot = asyncio.run(scenario())
+
+    served = sum(
+        value
+        for key, value in snapshot.counters.items()
+        if "service.answered" in str(key)
+    )
+
+    payload = {
+        "generated_unix": time.time(),
+        "dataset": DATASET,
+        "seed": SEED,
+        "how_to_read": (
+            "qps and latency percentiles are client-observed over real "
+            "loopback UDP/TCP sockets against repro serve (single event "
+            "loop, dispatch inline); answered_fraction is the live-mode "
+            "acceptance bar (>= 0.99)"
+        ),
+        "queries": report.sent,
+        "udp_sent": report.udp_sent,
+        "tcp_sent": report.tcp_sent,
+        "concurrency": CONCURRENCY,
+        "qps": report.qps,
+        "p50_ms": report.p50_ms,
+        "p90_ms": report.p90_ms,
+        "p99_ms": report.p99_ms,
+        "max_ms": report.max_ms,
+        "answered_fraction": report.answered_fraction,
+        "timeouts": report.timeouts,
+        "rcodes": dict(sorted(report.rcodes.items())),
+    }
+    with open(BENCH_SERVE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    emit(
+        f"serve: {DATASET} — {report.qps:.0f} q/s over loopback "
+        f"(udp {report.udp_sent} / tcp {report.tcp_sent}), "
+        f"p50 {report.p50_ms:.2f}ms p99 {report.p99_ms:.2f}ms, "
+        f"answered {100.0 * report.answered_fraction:.2f}%"
+    )
+
+    assert report.answered_fraction >= 0.99
+    assert report.decode_errors == 0
+    assert served >= report.answered  # warm-up answers count too
+
+    floor = os.environ.get(MIN_QPS_ENV)
+    if floor is not None:
+        assert report.qps >= float(floor), (
+            f"live throughput {report.qps:.0f} q/s below "
+            f"{MIN_QPS_ENV}={floor}"
+        )

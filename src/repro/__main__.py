@@ -15,6 +15,15 @@ Commands
 ``trace <file>``
     Summarise an exported trace file: slowest sampled queries and the
     per-phase critical path.
+``serve [<id>]``
+    Live service mode: bind real UDP/TCP sockets answering DNS for the
+    dataset's authority world (``dig @127.0.0.1 -p 5300 example.nl``),
+    with an optional Prometheus ``/metrics`` listener.  ``--chaos`` and
+    ``--rrl`` apply their schedules to live traffic.
+``loadgen``
+    Replay workload-layer query streams against a running ``serve``
+    instance and report q/s + latency percentiles (``--min-answered``
+    turns the report into a CI gate).
 
 Observability flags (see README "Observability"): ``-v/-vv`` turn on
 progress/debug logging, ``--telemetry-out PATH`` exports the run's
@@ -240,6 +249,112 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     return partial_exit
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import json
+    import signal
+
+    from .server import RRLConfig
+    from .service import ServiceConfig, ServiceTopology, DnsService
+
+    topology = None
+    if args.topology:
+        topology = ServiceTopology.from_json_file(args.topology)
+    rrl = None
+    if args.rrl and args.rrl > 0:
+        rrl = RRLConfig(responses_per_second=args.rrl, burst=2.0 * args.rrl)
+    chaos = args.chaos or os.environ.get(CHAOS_ENV) or None
+    config = ServiceConfig(
+        dataset_id=args.dataset_id,
+        host=args.host,
+        udp_port=args.udp_port,
+        tcp_port=args.tcp_port,
+        metrics_port=None if args.no_metrics else args.metrics_port,
+        seed=args.seed,
+        rrl=rrl,
+        chaos=chaos,
+        chaos_seed=args.chaos_seed,
+        fault_window_s=args.fault_window,
+        topology=topology,
+        resolver_frontend=args.resolver,
+    )
+
+    async def _serve() -> None:
+        service = DnsService(config)
+        await service.start()
+        ports = service.ports()
+        if args.port_file:
+            with open(args.port_file, "w") as handle:
+                json.dump(ports, handle)
+            print(f"wrote bound ports to {args.port_file}", file=sys.stderr)
+        metrics_at = (
+            f"http://{args.host}:{ports['metrics']}/metrics"
+            if ports["metrics"] is not None
+            else "off"
+        )
+        sockets = f"udp/tcp {args.host}:{ports['udp']}"
+        if ports["tcp"] != ports["udp"]:
+            sockets = (
+                f"udp {args.host}:{ports['udp']} tcp {args.host}:{ports['tcp']}"
+            )
+        print(
+            f"serving {args.dataset_id}: {sockets}, metrics {metrics_at}",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, service.request_shutdown)
+        await service.run_until_shutdown(duration=args.duration)
+        snapshot = await service.stop()
+        _print_telemetry(snapshot, args.telemetry_out, title="serve")
+        if args.metrics_out:
+            from .telemetry import write_prometheus
+
+            write_prometheus(snapshot, args.metrics_out)
+            print(f"wrote Prometheus metrics to {args.metrics_out}", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return 0
+
+
+def _cmd_loadgen(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import LoadGenConfig, run_loadgen_sync
+
+    config = LoadGenConfig(
+        host=args.host,
+        udp_port=args.port,
+        tcp_port=args.tcp_port,
+        dataset_id=args.dataset_id,
+        queries=args.queries,
+        concurrency=args.concurrency,
+        timeout_s=args.timeout,
+        tcp_fraction=args.tcp_fraction,
+        streams=args.streams,
+        junk_fraction=args.junk_fraction,
+        seed=args.seed,
+    )
+    report = run_loadgen_sync(config)
+    print(report.summary())
+    for rcode, count in sorted(report.rcodes.items()):
+        print(f"  {rcode:<10} {count}")
+    if report.timeouts:
+        print(f"  timeouts   {report.timeouts}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote report to {args.json}", file=sys.stderr)
+    if report.answered_fraction < args.min_answered:
+        print(
+            f"ERROR: answered fraction {report.answered_fraction:.4f} below "
+            f"--min-answered {args.min_answered}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _cmd_experiments(args: argparse.Namespace) -> int:
     from .experiments import ExperimentContext
     from .experiments.render_all import run_and_render
@@ -344,6 +459,99 @@ def main(argv=None) -> int:
 
     p_chaos = sub.add_parser("chaos", help="list chaos scenarios")
     p_chaos.set_defaults(func=_cmd_chaos)
+
+    p_serve = sub.add_parser(
+        "serve", help="live DNS frontend over real UDP/TCP sockets"
+    )
+    p_serve.add_argument("dataset_id", nargs="?", default="nl-w2020",
+                         help="dataset whose authority world to serve"
+                              " (default: nl-w2020)")
+    p_serve.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: 127.0.0.1)")
+    p_serve.add_argument("--udp-port", type=int, default=5300,
+                         help="UDP port; 0 = ephemeral (default: 5300)")
+    p_serve.add_argument("--tcp-port", type=int, default=None,
+                         help="TCP port (default: same as the bound UDP"
+                              " port)")
+    p_serve.add_argument("--metrics-port", type=int, default=0,
+                         help="Prometheus /metrics port; 0 = ephemeral"
+                              " (default: 0)")
+    p_serve.add_argument("--no-metrics", action="store_true",
+                         help="disable the /metrics listener")
+    p_serve.add_argument("--seed", type=int, default=20201027,
+                         help="world-build seed (default: 20201027)")
+    p_serve.add_argument("--rrl", type=float, default=0.0, metavar="RATE",
+                         help="enable response rate limiting at RATE"
+                              " responses/s per client prefix (0 = off)")
+    p_serve.add_argument("--chaos", metavar="SCENARIO", default=None,
+                         help="apply a named fault schedule to live"
+                              " traffic (default: REPRO_CHAOS env)")
+    p_serve.add_argument("--chaos-seed", type=int, default=None,
+                         help="fault-placement seed (default: derived"
+                              " from --seed)")
+    p_serve.add_argument("--fault-window", type=float, default=3600.0,
+                         metavar="SECONDS",
+                         help="uptime window the chaos schedule replays"
+                              " over (default: 3600)")
+    p_serve.add_argument("--resolver", action="store_true",
+                         help="enable the recursive-resolver frontend"
+                              " tier")
+    p_serve.add_argument("--topology", metavar="PATH", default=None,
+                         help="load the forwarding topology from a JSON"
+                              " file instead of the stock layout")
+    p_serve.add_argument("--port-file", metavar="PATH", default=None,
+                         help="write the bound ports as JSON (for"
+                              " scripting against ephemeral ports)")
+    p_serve.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS",
+                         help="serve for this long then exit (default:"
+                              " until SIGINT/SIGTERM)")
+    p_serve.add_argument("--telemetry-out", metavar="PATH",
+                         help="write the final telemetry snapshot as"
+                              " JSON on shutdown")
+    p_serve.add_argument("--metrics-out", metavar="PATH",
+                         help="write the final snapshot in Prometheus"
+                              " text format on shutdown")
+    p_serve.set_defaults(func=_cmd_serve)
+
+    p_loadgen = sub.add_parser(
+        "loadgen", help="replay workload streams against a live serve"
+    )
+    p_loadgen.add_argument("dataset_id", nargs="?", default="nl-w2020",
+                           help="dataset shaping the query stream"
+                                " (default: nl-w2020)")
+    p_loadgen.add_argument("--host", default="127.0.0.1",
+                           help="target address (default: 127.0.0.1)")
+    p_loadgen.add_argument("--port", type=int, default=5300,
+                           help="target UDP port (default: 5300)")
+    p_loadgen.add_argument("--tcp-port", type=int, default=None,
+                           help="target TCP port (default: same as"
+                                " --port)")
+    p_loadgen.add_argument("--queries", type=int, default=1000,
+                           help="queries to send (default: 1000)")
+    p_loadgen.add_argument("--concurrency", type=int, default=32,
+                           help="max in-flight UDP queries (default: 32)")
+    p_loadgen.add_argument("--timeout", type=float, default=2.0,
+                           metavar="SECONDS",
+                           help="per-query answer deadline (default: 2)")
+    p_loadgen.add_argument("--tcp-fraction", type=float, default=0.0,
+                           help="share of queries sent over TCP"
+                                " (default: 0)")
+    p_loadgen.add_argument("--streams", type=int, default=8,
+                           help="distinct workload client streams"
+                                " (default: 8)")
+    p_loadgen.add_argument("--junk-fraction", type=float, default=0.05,
+                           help="junk-query share of the stream"
+                                " (default: 0.05)")
+    p_loadgen.add_argument("--seed", type=int, default=20201027,
+                           help="stream seed (default: 20201027)")
+    p_loadgen.add_argument("--min-answered", type=float, default=0.0,
+                           metavar="FRACTION",
+                           help="exit 1 if the answered fraction falls"
+                                " below this (CI gate)")
+    p_loadgen.add_argument("--json", metavar="PATH", default=None,
+                           help="write the full report as JSON")
+    p_loadgen.set_defaults(func=_cmd_loadgen)
 
     p_trace = sub.add_parser(
         "trace", help="summarise an exported trace file"

@@ -8,7 +8,7 @@ and record mixes behave like the protocol the paper measured.
 
 from .edns import CLASSIC_UDP_LIMIT, RECOMMENDED_BUFSIZE, EdnsOption, EdnsRecord
 from .inspect import annotate, annotated_dump, explain, hexdump
-from .message import Flags, Message, Question
+from .message import Flags, Message, Question, WireDecodeError
 from .names import ROOT, Name, NameError_
 from .rdata import (
     AAAARdata,
@@ -65,4 +65,5 @@ __all__ = [
     "RRType",
     "SOARdata",
     "TXTRdata",
+    "WireDecodeError",
 ]

@@ -20,6 +20,17 @@ from .types import Opcode, RCode, RRClass, RRType
 HEADER_LENGTH = 12
 
 
+class WireDecodeError(ValueError):
+    """Raised when a wire message cannot be decoded.
+
+    Every decode failure — truncation, garbage bytes, malformed names,
+    unknown code points, bad compression pointers — funnels into this one
+    typed error so callers facing untrusted input (the live UDP/TCP
+    endpoints) can catch a single exception and answer FORMERR instead of
+    crashing on ``struct.error`` / ``IndexError`` leaking from the codec.
+    """
+
+
 @dataclass(frozen=True)
 class Flags:
     """The header flag bits (QR, AA, TC, RD, RA) plus opcode and rcode."""
@@ -227,8 +238,23 @@ class Message:
 
     @classmethod
     def from_wire(cls, wire: bytes) -> "Message":
+        """Decode a message, raising :class:`WireDecodeError` on bad input.
+
+        The decoder never lets ``struct.error``/``IndexError`` (or the
+        narrower ``ValueError`` subclasses the name codec raises) escape:
+        any malformed input surfaces as the one typed error.
+        """
+        try:
+            return cls._from_wire_unchecked(wire)
+        except WireDecodeError:
+            raise
+        except (ValueError, struct.error, IndexError, OverflowError) as exc:
+            raise WireDecodeError(str(exc) or type(exc).__name__) from exc
+
+    @classmethod
+    def _from_wire_unchecked(cls, wire: bytes) -> "Message":
         if len(wire) < HEADER_LENGTH:
-            raise ValueError("message shorter than header")
+            raise WireDecodeError("message shorter than header")
         msg_id, flag_word, qd, an, ns, ar = struct.unpack_from("!HHHHHH", wire, 0)
         message = cls(msg_id=msg_id, flags=Flags.from_wire_word(flag_word))
         offset = HEADER_LENGTH
@@ -251,6 +277,8 @@ class Message:
         name, after_name = Name.from_wire(wire, offset)
         rrtype, klass, ttl, rdlength = struct.unpack_from("!HHIH", wire, after_name)
         if rrtype == int(RRType.OPT):
+            if after_name + 10 + rdlength > len(wire):
+                raise WireDecodeError("OPT rdata runs past end of message")
             rdata = wire[after_name + 10 : after_name + 10 + rdlength]
             message.edns = EdnsRecord.from_wire_fields(klass, ttl, rdata)
             return None, after_name + 10 + rdlength

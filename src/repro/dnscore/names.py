@@ -333,6 +333,15 @@ class Name:
                 pointer = ((length & 0x3F) << 8) | wire[cursor + 1]
                 if after is None:
                     after = cursor + 2
+                # Every legitimate encoder (including :meth:`to_wire`) only
+                # ever points at earlier message octets; a forward or self
+                # pointer is either garbage or a crafted decompression bomb,
+                # so reject it before chasing.  Strictly-backward targets
+                # also guarantee termination on untrusted input.
+                if pointer >= cursor:
+                    raise NameError_(
+                        f"forward compression pointer ({pointer} >= {cursor})"
+                    )
                 if pointer in seen_offsets:
                     raise NameError_("compression pointer loop")
                 seen_offsets.add(pointer)

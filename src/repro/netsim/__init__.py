@@ -10,7 +10,7 @@ from .addresses import (
     parse_ipv6,
 )
 from .asregistry import ASInfo, ASRegistry
-from .clock import SimClock, timestamp_to_utc, utc_timestamp
+from .clock import Clock, SimClock, WallClock, timestamp_to_utc, utc_timestamp
 from .geo import GAZETTEER, LatencyModel, Site, great_circle_km, nearest_site
 from .prefixtrie import PrefixTrie
 
@@ -18,6 +18,7 @@ __all__ = [
     "AddressError",
     "ASInfo",
     "ASRegistry",
+    "Clock",
     "GAZETTEER",
     "IPAddress",
     "LatencyModel",
@@ -25,6 +26,7 @@ __all__ = [
     "PrefixTrie",
     "SimClock",
     "Site",
+    "WallClock",
     "format_ipv4",
     "format_ipv6",
     "great_circle_km",

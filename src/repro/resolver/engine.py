@@ -27,7 +27,7 @@ import numpy as np
 
 from ..capture import Transport
 from ..dnscore import EdnsRecord, Message, Name, RCode, ROOT, RRType
-from ..netsim import IPAddress, Site
+from ..netsim import Clock, IPAddress, Site
 from ..server import AuthoritativeServer, ServerSet
 from ..telemetry import tracing
 from .cache import ResolverCache
@@ -175,6 +175,7 @@ class SimResolver:
         v6: Optional[IPAddress],
         behavior: ResolverBehavior,
         seed: int = 0,
+        clock: Optional[Clock] = None,
     ):
         if v4 is None and v6 is None:
             raise ValueError("resolver needs at least one source address")
@@ -191,6 +192,7 @@ class SimResolver:
         self.v4 = v4
         self.v6 = v6
         self.behavior = behavior
+        self.clock = clock
         self.stats = ResolverStats()
         self.cache = ResolverCache(
             max_ttl=behavior.max_ttl,
@@ -231,9 +233,24 @@ class SimResolver:
 
     # ------------------------------------------------------------------ API --
 
-    def resolve(self, network: AuthorityNetwork, now: float, qname: Name, qtype: RRType) -> RCode:
+    def resolve(
+        self,
+        network: AuthorityNetwork,
+        now: Optional[float],
+        qname: Name,
+        qtype: RRType,
+    ) -> RCode:
         """Resolve one client query, emitting authoritative queries as a
-        side effect.  Returns the RCODE the client would receive."""
+        side effect.  Returns the RCODE the client would receive.
+
+        ``now`` may be ``None`` when the resolver carries a
+        :class:`~repro.netsim.Clock` (the live service frontend), in which
+        case the clock is read; the simulation always passes sim time.
+        """
+        if now is None:
+            if self.clock is None:
+                raise ValueError("now required when resolver has no clock")
+            now = self.clock.read()
         self.stats.client_queries += 1
         session = _Session(now)
         rcode = self._resolve(network, session, qname, qtype, depth=0)

@@ -22,7 +22,7 @@ from ..dnscore import Message, Name, RCode, RRType
 from ..dnscore.edns import EdnsRecord, effective_udp_limit
 from ..dnscore.rdata import ResourceRecord
 from ..dnscore.message import Flags
-from ..netsim import IPAddress, LatencyModel, Site, nearest_site
+from ..netsim import Clock, IPAddress, LatencyModel, Site, nearest_site
 from ..telemetry import tracing
 from ..zones import LookupOutcome, Zone
 from .rrl import RateLimiter, RRLConfig
@@ -103,6 +103,11 @@ class AuthoritativeServer:
         analyses 2 of 4 `.nl` and 6 of 7 `.nz` servers).
     rrl:
         Optional response-rate-limiting configuration.
+    clock:
+        Optional :class:`~repro.netsim.Clock` consulted when
+        :meth:`handle_query` is called without an explicit timestamp — the
+        live service mode injects a ``WallClock`` here while the simulation
+        keeps passing explicit sim-time stamps.
     """
 
     def __init__(
@@ -112,6 +117,7 @@ class AuthoritativeServer:
         sites: Sequence[Site],
         capture: Optional[CaptureStore] = None,
         rrl: Optional[RRLConfig] = None,
+        clock: Optional[Clock] = None,
     ):
         if not sites:
             raise ValueError("server needs at least one site")
@@ -119,6 +125,7 @@ class AuthoritativeServer:
         self.zone = zone
         self.sites = list(sites)
         self.capture = capture
+        self.clock = clock
         self.stats = ServerStats()
         self._rrl_config = rrl
         self._limiter = RateLimiter(rrl) if rrl is not None else None
@@ -143,6 +150,15 @@ class AuthoritativeServer:
         self.online = True
         if self._rrl_config is not None:
             self._limiter = RateLimiter(self._rrl_config)
+
+    def configure_rrl(self, rrl: Optional[RRLConfig]) -> None:
+        """Install (or clear, with ``None``) response rate limiting.
+
+        Used by the live service mode, which builds the authority world
+        through the environment builder and switches RRL on afterwards.
+        """
+        self._rrl_config = rrl
+        self._limiter = RateLimiter(rrl) if rrl is not None else None
 
     @property
     def is_anycast(self) -> bool:
@@ -205,7 +221,7 @@ class AuthoritativeServer:
 
     def handle_query(
         self,
-        timestamp: float,
+        timestamp: Optional[float],
         src: IPAddress,
         transport: Transport,
         query: Message,
@@ -215,10 +231,16 @@ class AuthoritativeServer:
 
         Returns the response message, or ``None`` if RRL dropped it.
         ``tcp_rtt_ms`` is the handshake RTT the capture would measure and
-        must be provided exactly when ``transport`` is TCP.
+        must be provided exactly when ``transport`` is TCP.  ``timestamp``
+        may be ``None`` when the server carries a :class:`Clock`, in which
+        case the clock is read — the live service path.
         """
         if (transport is Transport.TCP) != (tcp_rtt_ms is not None):
             raise ValueError("tcp_rtt_ms must accompany TCP queries only")
+        if timestamp is None:
+            if self.clock is None:
+                raise ValueError("timestamp required when server has no clock")
+            timestamp = self.clock.read()
         if not self.online:
             return None
 

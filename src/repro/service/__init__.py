@@ -1,0 +1,62 @@
+"""Live service mode: real sockets in front of the simulated DNS world.
+
+``repro serve`` binds asyncio UDP/TCP endpoints that speak actual DNS wire
+format (answerable with ``dig``/``dnsperf``), routes queries through a
+declarative forwarding topology into the same authoritative servers the
+simulation uses — RRL, fault plans, plan cache and tracing all live — and
+exposes the telemetry registry as a Prometheus ``/metrics`` endpoint.
+``repro loadgen`` replays workload-layer query streams against it.
+"""
+
+from .app import RESOLVER_FRONTEND_ADDR, DnsService, ServiceConfig
+from .dispatch import LIVE_TCP_RTT_MS, QueryDispatcher
+from .endpoints import (
+    TCP_MAX_QUERY,
+    UdpEndpoint,
+    classify_datagram,
+    formerr_response,
+    peer_address,
+)
+from .loadgen import (
+    LoadGenConfig,
+    LoadReport,
+    build_query_stream,
+    run_loadgen,
+    run_loadgen_sync,
+)
+from .topology import (
+    MAX_TIER_HOPS,
+    POLICY_SINKS,
+    ClientGroup,
+    ForwardRule,
+    ForwardingTier,
+    ServiceTopology,
+    TopologyError,
+    default_topology,
+)
+
+__all__ = [
+    "RESOLVER_FRONTEND_ADDR",
+    "DnsService",
+    "ServiceConfig",
+    "LIVE_TCP_RTT_MS",
+    "QueryDispatcher",
+    "TCP_MAX_QUERY",
+    "UdpEndpoint",
+    "classify_datagram",
+    "formerr_response",
+    "peer_address",
+    "LoadGenConfig",
+    "LoadReport",
+    "build_query_stream",
+    "run_loadgen",
+    "run_loadgen_sync",
+    "MAX_TIER_HOPS",
+    "POLICY_SINKS",
+    "ClientGroup",
+    "ForwardRule",
+    "ForwardingTier",
+    "ServiceTopology",
+    "TopologyError",
+    "default_topology",
+]

@@ -1,0 +1,343 @@
+"""The ``repro serve`` application: real sockets over the simulated world.
+
+:class:`DnsService` binds asyncio UDP/TCP endpoints (plus a Prometheus
+``/metrics`` HTTP listener) on loopback or any interface, builds the same
+deterministic authority world the simulation uses
+(:func:`~repro.sim.driver.build_authority_world`), and answers real
+clients — ``dig``, ``dnsperf``, or the built-in
+:mod:`~repro.service.loadgen` — through the forwarding topology.  Time
+comes from a :class:`~repro.netsim.WallClock`; RRL, chaos fault plans, the
+response-plan cache, and capture/telemetry taps all run live.
+
+Shutdown is graceful: endpoints stop accepting, in-flight TCP/HTTP
+connections drain (bounded), and a final telemetry snapshot is taken so
+``--metrics-out`` / ``--telemetry-out`` record the life of the process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+from dataclasses import dataclass
+from types import SimpleNamespace
+from typing import Dict, Optional
+
+from ..capture import Transport
+from ..dnscore.edns import effective_udp_limit
+from ..faults import FaultInjector, derive_fault_seed
+from ..faults.scenarios import chaos_scenario
+from ..netsim import GAZETTEER, Clock, IPAddress, WallClock
+from ..resolver import ResolverBehavior, SimResolver
+from ..server import TCP_MAX_SIZE, RRLConfig
+from ..sim.driver import (
+    AuthorityWorld,
+    build_authority_world,
+    publish_server_metrics,
+)
+from ..telemetry import MetricsRegistry, TelemetrySnapshot, to_prometheus
+from ..workload import dataset
+from .dispatch import QueryDispatcher
+from .endpoints import (
+    UdpEndpoint,
+    classify_datagram,
+    formerr_response,
+    peer_address,
+    serve_metrics_connection,
+    serve_tcp_connection,
+)
+from .topology import ServiceTopology, default_topology
+
+logger = logging.getLogger("repro.service")
+
+#: Source address of the optional resolver frontend (TEST-NET-1 — it never
+#: collides with a real client, and capture attribution stays unambiguous).
+RESOLVER_FRONTEND_ADDR = "192.0.2.53"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` needs to come up."""
+
+    dataset_id: str = "nl-w2020"
+    host: str = "127.0.0.1"
+    udp_port: int = 5300          #: 0 = ephemeral
+    tcp_port: Optional[int] = None  #: None = same number as the bound UDP port
+    metrics_port: Optional[int] = 0  #: 0 = ephemeral, None = no metrics listener
+    seed: int = 20201027
+    rrl: Optional[RRLConfig] = None
+    chaos: Optional[str] = None   #: named chaos scenario, live
+    chaos_seed: Optional[int] = None
+    #: Live fault plans replay their capture-window choreography over this
+    #: many seconds of service uptime (sim plans use the dataset window).
+    fault_window_s: float = 3600.0
+    topology: Optional[ServiceTopology] = None
+    resolver_frontend: bool = False
+    drain_timeout_s: float = 5.0
+
+
+class DnsService:
+    """A running (or startable) live DNS frontend."""
+
+    def __init__(self, config: ServiceConfig, clock: Optional[Clock] = None):
+        self.config = config
+        self.clock: Clock = WallClock() if clock is None else clock
+        self.metrics = MetricsRegistry()
+        self.final_snapshot: Optional[TelemetrySnapshot] = None
+        self.world: Optional[AuthorityWorld] = None
+        self.dispatcher: Optional[QueryDispatcher] = None
+        self.resolver: Optional[SimResolver] = None
+        self._started_at: Optional[float] = None
+        self._udp_transport = None
+        self._tcp_server: Optional[asyncio.AbstractServer] = None
+        self._metrics_server: Optional[asyncio.AbstractServer] = None
+        self._conn_tasks: set = set()
+        self._shutdown = asyncio.Event()
+        self._stopped = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    async def start(self) -> None:
+        """Build the world and bind every endpoint."""
+        config = self.config
+        descriptor = dataset(config.dataset_id)
+        self.world = build_authority_world(descriptor, config.seed, self.metrics)
+
+        for server_set in self.world.server_sets.values():
+            for server in server_set:
+                server.clock = self.clock
+                if config.rrl is not None:
+                    server.configure_rrl(config.rrl)
+
+        if config.chaos:
+            plan = chaos_scenario(config.chaos)
+            fault_seed = (
+                config.chaos_seed
+                if config.chaos_seed is not None
+                else (plan.seed if plan.seed is not None else derive_fault_seed(config.seed))
+            )
+            # Live mode anchors the plan's window choreography to service
+            # uptime: outages scheduled at window fraction 0.3 hit 30% of
+            # the way into ``fault_window_s``, not in April 2020.
+            self.world.network.faults = FaultInjector(
+                plan, fault_seed, self.clock.read(), config.fault_window_s
+            )
+            logger.info(
+                "serving with chaos scenario %r over a %.0fs window",
+                config.chaos, config.fault_window_s,
+            )
+
+        if config.resolver_frontend:
+            self.resolver = SimResolver(
+                "service-frontend",
+                GAZETTEER["AMS"],
+                IPAddress.parse(RESOLVER_FRONTEND_ADDR),
+                None,
+                ResolverBehavior(),
+                seed=config.seed,
+                clock=self.clock,
+            )
+
+        topology = config.topology
+        if topology is None:
+            topology = default_topology(
+                descriptor.vantage, resolver=config.resolver_frontend
+            )
+        self.dispatcher = QueryDispatcher(
+            topology,
+            self.world.server_sets,
+            self.clock,
+            network=self.world.network,
+            resolver=self.resolver,
+            metrics=self.metrics,
+        )
+
+        loop = asyncio.get_running_loop()
+        self._udp_transport, _ = await loop.create_datagram_endpoint(
+            lambda: UdpEndpoint(self),
+            local_addr=(config.host, config.udp_port),
+        )
+        tcp_port = config.tcp_port
+        if tcp_port is None:
+            tcp_port = self.udp_port
+        self._tcp_server = await asyncio.start_server(
+            self._tcp_connected, host=config.host, port=tcp_port
+        )
+        if config.metrics_port is not None:
+            self._metrics_server = await asyncio.start_server(
+                self._metrics_connected, host=config.host, port=config.metrics_port
+            )
+        self._started_at = self.clock.read()
+        logger.info(
+            "repro serve up: dataset=%s udp=%s:%d tcp=%s:%d metrics=%s",
+            config.dataset_id, config.host, self.udp_port, config.host,
+            self.tcp_port,
+            f"{config.host}:{self.metrics_port}" if self._metrics_server else "off",
+        )
+
+    async def stop(self) -> TelemetrySnapshot:
+        """Drain and shut down; returns (and stores) the final snapshot."""
+        if self._stopped:
+            return self.final_snapshot
+        self._stopped = True
+        if self._udp_transport is not None:
+            self._udp_transport.close()
+        for server in (self._tcp_server, self._metrics_server):
+            if server is not None:
+                server.close()
+        for server in (self._tcp_server, self._metrics_server):
+            if server is not None:
+                await server.wait_closed()
+        # Drain in-flight TCP/HTTP connections, then cut the stragglers.
+        if self._conn_tasks:
+            _, pending = await asyncio.wait(
+                self._conn_tasks, timeout=self.config.drain_timeout_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+                self.metrics.counter("service.drain_cancelled").inc(len(pending))
+        self.metrics.counter("service.shutdowns").inc()
+        self.final_snapshot = self.snapshot()
+        self._shutdown.set()
+        logger.info("repro serve stopped cleanly")
+        return self.final_snapshot
+
+    def request_shutdown(self) -> None:
+        """Signal-handler entry: unblocks :meth:`run_until_shutdown`."""
+        self._shutdown.set()
+
+    async def run_until_shutdown(self, duration: Optional[float] = None) -> None:
+        """Serve until :meth:`request_shutdown` (or for ``duration`` s)."""
+        if duration is not None:
+            try:
+                await asyncio.wait_for(self._shutdown.wait(), timeout=duration)
+            except asyncio.TimeoutError:
+                pass
+        else:
+            await self._shutdown.wait()
+
+    # -- bound addresses ---------------------------------------------------
+
+    @property
+    def udp_port(self) -> int:
+        return self._udp_transport.get_extra_info("sockname")[1]
+
+    @property
+    def tcp_port(self) -> int:
+        return self._tcp_server.sockets[0].getsockname()[1]
+
+    @property
+    def metrics_port(self) -> Optional[int]:
+        if self._metrics_server is None:
+            return None
+        return self._metrics_server.sockets[0].getsockname()[1]
+
+    def ports(self) -> Dict[str, Optional[int]]:
+        """The bound port numbers (for ``--port-file`` scripting)."""
+        return {
+            "udp": self.udp_port,
+            "tcp": self.tcp_port,
+            "metrics": self.metrics_port,
+        }
+
+    # -- datagram / stream handlers ---------------------------------------
+
+    def handle_datagram(self, transport, data: bytes, addr) -> None:
+        """Answer one UDP datagram (runs inline on the event loop)."""
+        metrics = self.metrics
+        metrics.counter("service.udp_datagrams").inc()
+        kind, payload = classify_datagram(data)
+        if kind == "ignore":
+            metrics.counter("service.ignored", cause=payload).inc()
+            return
+        if kind == "formerr":
+            metrics.counter("service.formerr").inc()
+            transport.sendto(formerr_response(payload), addr)
+            return
+        src = peer_address(addr)
+        if src is None:  # pragma: no cover - exotic socket families only
+            metrics.counter("service.ignored", cause="unparseable_peer").inc()
+            return
+        query = payload
+        response = self.dispatcher.dispatch(src, Transport.UDP, query)
+        if response is None:
+            return  # deliberate silence (RRL / fault / all upstreams down)
+        wire = response.to_wire(max_size=effective_udp_limit(query.edns))
+        metrics.counter("service.udp_response_bytes").inc(len(wire))
+        transport.sendto(wire, addr)
+
+    def handle_stream_query(
+        self, frame: bytes, src: Optional[IPAddress]
+    ) -> Optional[bytes]:
+        """Answer one TCP-framed query; ``None`` poisons the connection."""
+        metrics = self.metrics
+        metrics.counter("service.tcp_frames").inc()
+        kind, payload = classify_datagram(frame)
+        if kind == "ignore":
+            metrics.counter("service.ignored", cause=payload).inc()
+            return None
+        if kind == "formerr":
+            metrics.counter("service.formerr").inc()
+            return formerr_response(payload)
+        if src is None:  # pragma: no cover - exotic socket families only
+            metrics.counter("service.ignored", cause="unparseable_peer").inc()
+            return None
+        query = payload
+        response = self.dispatcher.dispatch(src, Transport.TCP, query)
+        # TCP dispatch degrades to SERVFAIL rather than silence.
+        wire = response.to_wire(max_size=TCP_MAX_SIZE)
+        metrics.counter("service.tcp_response_bytes").inc(len(wire))
+        return wire
+
+    def note_udp_error(self, exc) -> None:  # pragma: no cover - OS-dependent
+        self.metrics.counter("service.udp_errors").inc()
+
+    # -- connection tracking ----------------------------------------------
+
+    async def _tcp_connected(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        self.metrics.counter("service.tcp_connections").inc()
+        src = peer_address(writer.get_extra_info("peername"))
+        await serve_tcp_connection(self, reader, writer, src)
+
+    async def _metrics_connected(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._conn_tasks.add(task)
+        task.add_done_callback(self._conn_tasks.discard)
+        self.metrics.counter("service.metrics_scrapes").inc()
+        await serve_metrics_connection(self, reader, writer)
+
+    # -- telemetry ---------------------------------------------------------
+
+    def snapshot(self) -> TelemetrySnapshot:
+        """Roll service counters + live server/fault/resolver state up.
+
+        Server and fault counters are *published* into a scratch registry on
+        every call (publishing increments, so feeding the live registry
+        repeatedly would double-count across scrapes).
+        """
+        roll = MetricsRegistry()
+        roll.merge_snapshot(self.metrics.snapshot())
+        if self.world is not None:
+            publish_server_metrics(roll, self.world.server_sets)
+            if self.world.network.faults is not None:
+                self.world.network.faults.publish_metrics(roll)
+        if self.resolver is not None:
+            from ..sim.driver import publish_fleet_metrics
+
+            publish_fleet_metrics(
+                roll,
+                [SimpleNamespace(provider="service", resolver=self.resolver)],
+            )
+        if self._started_at is not None:
+            roll.gauge("service.uptime_seconds").set(
+                self.clock.read() - self._started_at
+            )
+        return roll.snapshot()
+
+    def render_metrics(self) -> str:
+        """The live ``/metrics`` body (Prometheus text format 0.0.4)."""
+        return to_prometheus(self.snapshot())

@@ -1,0 +1,222 @@
+"""Query routing from a live socket to the simulated authority world.
+
+The :class:`QueryDispatcher` is the synchronous core of ``repro serve``:
+given a decoded query and its source address, it walks the topology's
+client-group → tier → upstream chain and produces the response message (or
+``None`` for deliberate silence).  Everything the simulation wired into
+:meth:`~repro.server.AuthoritativeServer.handle_query` stays live on this
+path — RRL verdicts, the response-plan cache, capture rows, tracing taps —
+and an attached :class:`~repro.faults.FaultInjector` drops live UDP
+exchanges exactly as it drops simulated ones.
+
+Dispatch runs inline on the event loop (sub-millisecond per query thanks to
+the plan cache), so no locking is needed anywhere in the shared world.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..capture import Transport
+from ..dnscore import Flags, Message, Opcode, RCode
+from ..netsim import Clock, IPAddress
+from ..resolver import AuthorityNetwork
+from ..server import ServerSet
+from ..telemetry import MetricsRegistry
+from .topology import MAX_TIER_HOPS, POLICY_SINKS, ServiceTopology
+
+#: Handshake RTT recorded for live TCP exchanges.  The capture schema wants
+#: the RTT a passive pcap tap would infer from SYN/SYN-ACK timing; on the
+#: loopback paths this mode serves, that is effectively zero.
+LIVE_TCP_RTT_MS = 0.0
+
+
+class DispatchError(Exception):
+    """Internal dispatch failure (never raised for bad client input)."""
+
+
+class QueryDispatcher:
+    """Routes one decoded query through the forwarding topology.
+
+    Parameters
+    ----------
+    topology:
+        The validated :class:`~repro.service.topology.ServiceTopology`.
+    server_sets:
+        Authority sets by key (the driver's ``server_sets`` mapping).
+    clock:
+        Time source stamped onto every exchange (a
+        :class:`~repro.netsim.WallClock` in live mode).
+    network:
+        The :class:`~repro.resolver.AuthorityNetwork`; carries the optional
+        fault injector and backs the resolver frontend.
+    resolver:
+        Optional recursive frontend (a
+        :class:`~repro.resolver.SimResolver`).
+    metrics:
+        Registry receiving ``service.*`` counters.
+    """
+
+    def __init__(
+        self,
+        topology: ServiceTopology,
+        server_sets: dict,
+        clock: Clock,
+        network: Optional[AuthorityNetwork] = None,
+        resolver=None,
+        metrics: Optional[MetricsRegistry] = None,
+    ):
+        topology.validate(server_sets.keys(), resolver_available=resolver is not None)
+        self._topology = topology
+        self._server_sets = server_sets
+        self._clock = clock
+        self._network = network
+        self._resolver = resolver
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+
+    # -- the entry point ---------------------------------------------------
+
+    def dispatch(
+        self, src: IPAddress, transport: Transport, query: Message
+    ) -> Optional[Message]:
+        """Answer one query.
+
+        Returns the response message, or ``None`` when the query ends in
+        deliberate silence (RRL drop, injected fault, or every upstream
+        down) — the UDP endpoint sends nothing and the client times out,
+        just like against a real rate-limited authority.  TCP callers never
+        get silence: an exhausted chain degrades to SERVFAIL because a
+        connected client expects *some* bytes back.
+        """
+        metrics = self._metrics
+        transport_label = "tcp" if transport is Transport.TCP else "udp"
+        metrics.counter("service.queries", transport=transport_label).inc()
+
+        if query.flags.opcode is not Opcode.QUERY:
+            metrics.counter("service.refused", cause="opcode").inc()
+            return self._local_response(query, RCode.NOTIMP)
+        if not query.questions:
+            metrics.counter("service.refused", cause="no_question").inc()
+            return self._local_response(query, RCode.FORMERR)
+
+        timestamp = self._clock.read()
+        tier = self._topology.tier_for(src)
+        response = self._walk_tier(
+            tier.name, src, transport, query, timestamp, hops=0
+        )
+        if response is not None:
+            metrics.counter("service.answered", transport=transport_label).inc()
+            return response
+        metrics.counter("service.unanswered", transport=transport_label).inc()
+        if transport is Transport.TCP:
+            return self._local_response(query, RCode.SERVFAIL)
+        return None
+
+    # -- chain walking -----------------------------------------------------
+
+    def _walk_tier(
+        self,
+        tier_name: str,
+        src: IPAddress,
+        transport: Transport,
+        query: Message,
+        timestamp: float,
+        hops: int,
+    ) -> Optional[Message]:
+        if hops >= MAX_TIER_HOPS:
+            # validate() rejects static cycles; the depth bound also stops
+            # pathological hand-built chains.
+            self._metrics.counter("service.tier_hop_limit").inc()
+            return None
+        tier = self._topology.tier(tier_name)
+        qname = query.question.qname
+        for upstream in tier.chain_for(qname):
+            response = self._try_upstream(
+                upstream, src, transport, query, timestamp, hops
+            )
+            if response is not None:
+                return response
+        return None
+
+    def _try_upstream(
+        self,
+        spec: str,
+        src: IPAddress,
+        transport: Transport,
+        query: Message,
+        timestamp: float,
+        hops: int,
+    ) -> Optional[Message]:
+        if spec in POLICY_SINKS:
+            self._metrics.counter("service.policy_sink", sink=spec).inc()
+            rcode = RCode.REFUSED if spec == "refused" else RCode.NXDOMAIN
+            return self._local_response(query, rcode)
+        if spec == "resolver":
+            return self._via_resolver(query, timestamp)
+        if spec.startswith("tier:"):
+            return self._walk_tier(
+                spec[5:], src, transport, query, timestamp, hops + 1
+            )
+        # Validated topology: anything else is auth:<key>[/<server_id>].
+        key, _, server_id = spec[5:].partition("/")
+        server_set: ServerSet = self._server_sets[key]
+        servers = [server_set.by_id(server_id)] if server_id else server_set.servers
+        return self._via_authority(servers, src, transport, query, timestamp)
+
+    def _via_authority(
+        self, servers, src, transport, query, timestamp
+    ) -> Optional[Message]:
+        faults = self._network.faults if self._network is not None else None
+        question = query.question
+        qname_key = question.qname.to_text().encode() if faults is not None else b""
+        for server in servers:
+            if faults is not None and transport is Transport.UDP:
+                verdict = faults.udp_fate(
+                    server.server_id, src.family, timestamp, qname_key
+                )
+                if verdict.dropped:
+                    self._metrics.counter(
+                        "service.fault_drops", cause=verdict.cause or "loss"
+                    ).inc()
+                    continue
+            response = server.handle_query(
+                timestamp,
+                src,
+                transport,
+                query,
+                tcp_rtt_ms=LIVE_TCP_RTT_MS if transport is Transport.TCP else None,
+            )
+            # None = RRL drop or offline server: silence from this server,
+            # try the next one in the NS set (real stub behaviour).
+            if response is not None:
+                return response
+            self._metrics.counter(
+                "service.upstream_silent", server=server.server_id
+            ).inc()
+        return None
+
+    def _via_resolver(self, query: Message, timestamp: float) -> Optional[Message]:
+        question = query.question
+        rcode = self._resolver.resolve(
+            self._network, timestamp, question.qname, question.qtype
+        )
+        self._metrics.counter("service.resolved", rcode=rcode.name).inc()
+        # The engine reports the client-visible RCODE; the frontend wraps
+        # it in a minimal recursive answer (RA set, empty sections) — the
+        # authoritative data itself was exchanged, and captured, on the
+        # resolver's back side.
+        response = query.make_response_skeleton()
+        response.flags = Flags(
+            qr=True,
+            opcode=query.flags.opcode,
+            rd=query.flags.rd,
+            ra=True,
+            rcode=rcode,
+        )
+        return response
+
+    @staticmethod
+    def _local_response(query: Message, rcode: RCode) -> Message:
+        response = query.make_response_skeleton()
+        response.set_rcode(rcode)
+        return response

@@ -1,10 +1,13 @@
 """End-to-end dataset simulation driver."""
 
 from .driver import (
+    AuthorityWorld,
     DatasetRun,
     STREAM_ENV,
     SimEnvironment,
+    build_authority_world,
     build_environment,
+    build_vantage_zone,
     configured_stream,
     run_dataset,
     run_member_range,
@@ -12,10 +15,13 @@ from .driver import (
 )
 
 __all__ = [
+    "AuthorityWorld",
     "DatasetRun",
     "STREAM_ENV",
     "SimEnvironment",
+    "build_authority_world",
     "build_environment",
+    "build_vantage_zone",
     "configured_stream",
     "run_dataset",
     "run_member_range",

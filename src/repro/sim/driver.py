@@ -50,7 +50,7 @@ from ..clouds import (
 )
 from ..dnscore import Name, ROOT, RRType
 from ..faults import FaultInjector, derive_fault_seed
-from ..netsim import ASRegistry, GAZETTEER, LatencyModel
+from ..netsim import ASRegistry, GAZETTEER, LatencyModel, SimClock
 from ..resolver import (
     AuthorityNetwork,
     CyclicPair,
@@ -193,6 +193,11 @@ class SimEnvironment:
     ptr_table: PTRTable
 
 
+def build_vantage_zone(descriptor: DatasetDescriptor) -> Optional[Zone]:
+    """The registry zone for the descriptor's vantage (``None`` for root)."""
+    return _build_vantage_zone(descriptor)
+
+
 def _build_vantage_zone(descriptor: DatasetDescriptor) -> Optional[Zone]:
     if descriptor.vantage == "root":
         return None
@@ -236,18 +241,39 @@ def _apply_qmin_override(fleet: Sequence[FleetResolver], enabled: bool) -> None:
             )
 
 
-def build_environment(
-    descriptor: DatasetDescriptor, seed: int, metrics: MetricsRegistry
-) -> SimEnvironment:
-    """Build the whole simulated world for one dataset (no queries run).
+@dataclass
+class AuthorityWorld:
+    """The authoritative half of a simulated world: zones, server sets,
+    authority network, and the capture store they feed.
 
-    Timed under the ``zone_build`` / ``fleet_build`` phases.  Deterministic
-    given ``(descriptor, seed)`` — pool workers call this independently and
-    arrive at the same world as the parent.
+    This is everything ``repro serve`` needs to answer real sockets — the
+    resolver *fleet* (thousands of simulated clients) is a simulation-only
+    concern layered on top by :func:`build_environment`.
     """
-    latency = LatencyModel()
 
-    # -- authoritative side ---------------------------------------------------
+    vantage_zone: Optional[Zone]
+    capture: CaptureStore
+    server_sets: Dict[str, ServerSet]
+    network: AuthorityNetwork
+    storm_domains: List[Name]
+
+
+def build_authority_world(
+    descriptor: DatasetDescriptor,
+    seed: int,
+    metrics: MetricsRegistry,
+    latency: Optional[LatencyModel] = None,
+) -> AuthorityWorld:
+    """Build the authoritative side of a dataset's world (no fleets).
+
+    Timed under the ``zone_build`` phase.  Deterministic given
+    ``(descriptor, seed)`` — this is the common prefix of
+    :func:`build_environment` and the live service mode's startup, so both
+    serve byte-identical zone content.
+    """
+    if latency is None:
+        latency = LatencyModel()
+
     with metrics.time_phase("zone_build"):
         vantage_zone = _build_vantage_zone(descriptor)
         capture = CaptureStore()
@@ -302,6 +328,29 @@ def build_environment(
                 len(plan.storms),
             )
 
+    return AuthorityWorld(
+        vantage_zone=vantage_zone,
+        capture=capture,
+        server_sets=server_sets,
+        network=network,
+        storm_domains=storm_domains,
+    )
+
+
+def build_environment(
+    descriptor: DatasetDescriptor, seed: int, metrics: MetricsRegistry
+) -> SimEnvironment:
+    """Build the whole simulated world for one dataset (no queries run).
+
+    Timed under the ``zone_build`` / ``fleet_build`` phases.  Deterministic
+    given ``(descriptor, seed)`` — pool workers call this independently and
+    arrive at the same world as the parent.
+    """
+    latency = LatencyModel()
+
+    # -- authoritative side ---------------------------------------------------
+    world = build_authority_world(descriptor, seed, metrics, latency)
+
     # -- resolver fleets ---------------------------------------------------------
     with metrics.time_phase("fleet_build"):
         fleet, registry = build_all_fleets(descriptor.vantage, descriptor.year, seed)
@@ -315,11 +364,11 @@ def build_environment(
         descriptor=descriptor,
         seed=seed,
         latency=latency,
-        vantage_zone=vantage_zone,
-        capture=capture,
-        server_sets=server_sets,
-        network=network,
-        storm_domains=storm_domains,
+        vantage_zone=world.vantage_zone,
+        capture=world.capture,
+        server_sets=world.server_sets,
+        network=world.network,
+        storm_domains=world.storm_domains,
         fleet=fleet,
         registry=registry,
         ptr_table=ptr_table,
@@ -514,6 +563,7 @@ def run_member_range(
     start: int = 0,
     stop: Optional[int] = None,
     tracer: Optional[QueryTracer] = None,
+    clock: Optional[SimClock] = None,
 ) -> int:
     """Drive client query streams through fleet members ``[start, stop)``.
 
@@ -521,6 +571,13 @@ def run_member_range(
     per-member streams are seeded by global fleet index, so any partition
     of the fleet into ranges produces exactly the union of the serial
     run's per-member traffic.
+
+    ``clock`` optionally names a :class:`~repro.netsim.SimClock` to keep in
+    step with the replay: after each chunk it is advanced to the latest
+    timestamp handed out so far (never backwards — member streams overlap
+    in sim time).  Queries always carry their own explicit timestamps, so
+    the clock is an observer here, not a time source; injecting one changes
+    nothing about the capture.
 
     ``tracer`` enables sampled per-query tracing.  The sampling decision is
     a pure hash of ``(seed, global member index, per-member sequence
@@ -616,6 +673,10 @@ def run_member_range(
                     bucket = stamps_by_provider[member.provider] = []
                 bucket.extend(query.timestamp for query in chunk)
             run_count += len(chunk)
+            if clock is not None:
+                last_ts = chunk[-1].timestamp
+                if last_ts > clock.now:
+                    clock.advance_to(last_ts)
             provider_counter.inc(len(chunk))
             now = time.perf_counter()
             if now - last_progress >= interval:
@@ -720,8 +781,17 @@ def run_dataset(
     stream: Optional[bool] = None,
     spool_dir: Optional[str] = None,
     trace=None,
+    clock: Optional[SimClock] = None,
 ) -> DatasetRun:
     """Simulate one dataset and return its capture.
+
+    ``clock`` optionally injects the :class:`~repro.netsim.SimClock` the run
+    keeps in step with sim time (defaults to a fresh clock pinned to the
+    capture window's start).  The simulation always passes explicit
+    timestamps downstream, so the injected clock observes the replay rather
+    than driving it — results are bit-identical with or without one.  On
+    the serial path it tracks each chunk's latest timestamp; either way it
+    ends at the capture window's close.
 
     ``client_queries`` overrides the descriptor's volume (tests use small
     values; benchmarks use the descriptor default).
@@ -768,6 +838,8 @@ def run_dataset(
     )
     metrics = MetricsRegistry()
     metrics.gauge("runtime.stream.enabled").set(1 if stream else 0)
+    if clock is None:
+        clock = SimClock(now=descriptor.start)
     env = build_environment(descriptor, seed, metrics)
     total_queries = (
         descriptor.client_queries if client_queries is None else client_queries
@@ -891,7 +963,8 @@ def run_dataset(
             for shard in plan:
                 shard_started = time.perf_counter()
                 shard_queries = run_member_range(
-                    env, total_queries, metrics, shard.start, shard.stop, tracer
+                    env, total_queries, metrics, shard.start, shard.stop,
+                    tracer, clock,
                 )
                 shard_elapsed = time.perf_counter() - shard_started
                 metrics.observe_phase(f"runtime.shard.{shard.index}", shard_elapsed)
@@ -930,6 +1003,12 @@ def run_dataset(
             with metrics.time_phase("runtime.merge"):
                 env.capture.sort_canonical()
             capture = env.capture
+
+    # The run is over: sim time has reached the end of the capture window
+    # regardless of execution backend (pool workers advance local clocks).
+    window_end = descriptor.start + descriptor.duration
+    if window_end > clock.now:
+        clock.advance_to(window_end)
 
     snapshot = metrics.snapshot()
     logger.info(

@@ -26,7 +26,7 @@ rate-over-sim-time frames, and :mod:`~repro.telemetry.exposition` renders
 snapshots in the Prometheus text format for the future live-serve mode.
 """
 
-from .exposition import to_prometheus, write_prometheus
+from .exposition import CONTENT_TYPE as PROMETHEUS_CONTENT_TYPE, to_prometheus, write_prometheus
 from .logs import configure_logging, format_summary
 from .timeseries import FlightRecorder
 from .tracing import (
@@ -76,6 +76,7 @@ __all__ = [
     "resolve_trace_config",
     "split_key",
     "summarize_trace_file",
+    "PROMETHEUS_CONTENT_TYPE",
     "to_prometheus",
     "write_prometheus",
 ]

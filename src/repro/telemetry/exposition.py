@@ -1,11 +1,11 @@
 """Prometheus text-format exposition of telemetry snapshots.
 
 Renders a :class:`~repro.telemetry.registry.TelemetrySnapshot` in the
-Prometheus text exposition format (version 0.0.4) — the contract the
-ROADMAP's future ``repro serve`` live mode will speak on its ``/metrics``
-endpoint.  Until then the CLI's ``--metrics-out x.prom`` writes the same
-bytes at end of run, so dashboards and scrape-format consumers can be
-built against batch output today.
+Prometheus text exposition format (version 0.0.4) — the contract
+``repro serve`` speaks on its live ``/metrics`` endpoint
+(:mod:`repro.service`).  The CLI's ``--metrics-out x.prom`` writes the
+same bytes at end of run, so dashboards and scrape-format consumers see
+one format across batch and live modes.
 
 Mapping:
 
@@ -30,10 +30,14 @@ from typing import Dict, List, Mapping, Tuple
 
 from .registry import TelemetrySnapshot, split_key
 
-__all__ = ["to_prometheus", "write_prometheus"]
+__all__ = ["CONTENT_TYPE", "to_prometheus", "write_prometheus"]
 
 #: Prefix for every exposed metric family.
 NAMESPACE = "repro"
+
+#: The Content-Type a scrape endpoint must declare for this text format —
+#: what ``repro serve`` sends on ``/metrics`` and what Prometheus expects.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
 _NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
 _LABEL_OK = re.compile(r"[^a-zA-Z0-9_]")

@@ -25,6 +25,10 @@ REQUIRED_KEYS = ("dataset", "generated_unix")
 #: Artefacts keyed by session, not by a single dataset.
 SESSION_LEVEL = {"BENCH_telemetry.json"}
 
+#: Extra contract keys for the live-service benchmark: CI and later
+#: sessions trend throughput and tail latency from these.
+SERVE_KEYS = ("qps", "p50_ms", "p99_ms", "answered_fraction")
+
 
 def bench_paths():
     return sorted(glob.glob(os.path.join(BENCH_DIR, "BENCH_*.json")))
@@ -33,7 +37,7 @@ def bench_paths():
 def test_benchmark_artifacts_exist():
     names = {os.path.basename(path) for path in bench_paths()}
     assert {"BENCH_hotpath.json", "BENCH_parallel.json",
-            "BENCH_streaming.json"} <= names
+            "BENCH_streaming.json", "BENCH_serve.json"} <= names
 
 
 @pytest.mark.parametrize(
@@ -55,3 +59,13 @@ def test_benchmark_artifact_schema(path):
     assert isinstance(dataset, str) and dataset, (
         f"{path}: dataset must name the simulated workload"
     )
+
+    if os.path.basename(path) == "BENCH_serve.json":
+        for key in SERVE_KEYS:
+            value = data.get(key)
+            assert isinstance(value, (int, float)), (
+                f"{path}: {key} must be numeric"
+            )
+        assert 0.0 <= data["answered_fraction"] <= 1.0, (
+            f"{path}: answered_fraction must be a fraction"
+        )

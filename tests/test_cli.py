@@ -238,6 +238,77 @@ class TestPartialExit:
         assert "capture is incomplete" not in err
 
 
+class TestServeCLI:
+    def test_serve_and_loadgen_round_trip(self, capsys, tmp_path, monkeypatch):
+        """The full CLI path: serve on ephemeral ports, loadgen against it,
+        SIGTERM → graceful shutdown writing the final snapshot artefacts.
+
+        ``serve`` installs its signal handlers on the main thread's event
+        loop, so it runs here in the main thread while a worker thread
+        waits for the port file, fires the loadgen, and raises SIGTERM.
+        """
+        import json
+        import os
+        import signal
+        import threading
+        import time
+
+        monkeypatch.delenv("REPRO_CHAOS", raising=False)
+        port_file = tmp_path / "ports.json"
+        metrics_out = tmp_path / "metrics.prom"
+        report_path = tmp_path / "loadgen.json"
+        loadgen_rc = {}
+
+        def client():
+            deadline = time.time() + 30.0
+            while not port_file.exists() and time.time() < deadline:
+                time.sleep(0.05)
+            try:
+                ports = json.loads(port_file.read_text())
+                loadgen_rc["rc"] = main(
+                    ["loadgen", "nl-w2020",
+                     "--port", str(ports["udp"]),
+                     "--queries", "40", "--concurrency", "8",
+                     "--min-answered", "0.99",
+                     "--json", str(report_path)]
+                )
+            finally:
+                os.kill(os.getpid(), signal.SIGTERM)
+
+        thread = threading.Thread(target=client)
+        thread.start()
+        try:
+            rc = main(
+                ["serve", "nl-w2020", "--udp-port", "0",
+                 "--duration", "60",  # backstop; SIGTERM ends it sooner
+                 "--port-file", str(port_file),
+                 "--metrics-out", str(metrics_out)]
+            )
+        finally:
+            thread.join(timeout=30.0)
+        capsys.readouterr()
+        assert rc == 0
+        assert loadgen_rc.get("rc") == 0
+        report = json.loads(report_path.read_text())
+        assert report["sent"] == 40
+        assert report["answered_fraction"] >= 0.99
+        text = metrics_out.read_text()
+        assert "repro_service_shutdowns_total 1" in text
+        assert "repro_service_queries_total" in text
+
+    def test_loadgen_gate_fails_without_server(self, capsys, tmp_path):
+        # Nothing listens on this port: every query times out and the
+        # --min-answered gate must exit non-zero.
+        rc = main(
+            ["loadgen", "nl-w2020", "--port", "1",
+             "--queries", "3", "--timeout", "0.2",
+             "--min-answered", "0.99"]
+        )
+        captured = capsys.readouterr()
+        assert rc == 1
+        assert "below" in captured.err
+
+
 class TestRenderMarkdown:
     def test_render_contains_reports_and_meta(self):
         report = Report("figure1a", "Test report")

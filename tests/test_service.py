@@ -1,0 +1,612 @@
+"""Live service mode: topology, dispatch, and real-socket round trips.
+
+The end-to-end tests bind ephemeral loopback sockets and drive them with
+the built-in load generator inside ``asyncio.run`` (the suite does not
+depend on an asyncio pytest plugin).  They assert the acceptance bar of
+the live mode: byte-valid responses over both UDP and TCP, RRL and chaos
+plans active on live traffic, Prometheus ``/metrics``, and a graceful
+shutdown that yields a final telemetry snapshot.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.capture import Transport
+from repro.dnscore import (
+    Flags,
+    Message,
+    Name,
+    Opcode,
+    Question,
+    RCode,
+    RRType,
+)
+from repro.netsim import IPAddress, SimClock
+from repro.server import RRLConfig
+from repro.service import (
+    ClientGroup,
+    DnsService,
+    ForwardRule,
+    ForwardingTier,
+    LoadGenConfig,
+    QueryDispatcher,
+    ServiceConfig,
+    ServiceTopology,
+    TopologyError,
+    classify_datagram,
+    default_topology,
+    formerr_response,
+    run_loadgen,
+)
+from repro.sim import build_authority_world
+from repro.telemetry import MetricsRegistry
+from repro.workload import dataset
+
+CLIENT = IPAddress.parse("127.0.0.1")
+
+
+# ---------------------------------------------------------------------------
+# topology
+
+
+class TestTopology:
+    def test_default_topology_validates(self):
+        topo = default_topology("nl")
+        topo.validate({"nl", "root"})
+
+    def test_default_root_topology_validates(self):
+        default_topology("root").validate({"root"})
+
+    def test_resolver_spec_requires_frontend(self):
+        topo = default_topology("nl", resolver=True)
+        topo.validate({"nl", "root"}, resolver_available=True)
+        with pytest.raises(TopologyError, match="resolver"):
+            topo.validate({"nl", "root"}, resolver_available=False)
+
+    def test_unknown_authority_rejected(self):
+        topo = ServiceTopology(
+            tiers=(ForwardingTier(name="edge", upstreams=("auth:nosuch",)),),
+            default_tier="edge",
+        )
+        with pytest.raises(TopologyError, match="nosuch"):
+            topo.validate({"nl", "root"})
+
+    def test_dangling_tier_rejected(self):
+        topo = ServiceTopology(
+            tiers=(ForwardingTier(name="edge", upstreams=("tier:ghost",)),),
+            default_tier="edge",
+        )
+        with pytest.raises(TopologyError, match="ghost"):
+            topo.validate({"root"})
+
+    def test_cycle_rejected(self):
+        topo = ServiceTopology(
+            tiers=(
+                ForwardingTier(name="a", upstreams=("tier:b",)),
+                ForwardingTier(name="b", upstreams=("tier:a",)),
+            ),
+            default_tier="a",
+        )
+        with pytest.raises(TopologyError, match="cycle"):
+            topo.validate({"root"})
+
+    def test_malformed_spec_rejected(self):
+        topo = ServiceTopology(
+            tiers=(ForwardingTier(name="edge", upstreams=("bogus",)),),
+            default_tier="edge",
+        )
+        with pytest.raises(TopologyError, match="bogus"):
+            topo.validate({"root"})
+
+    def test_suffix_rule_beats_default_chain(self):
+        tier = ForwardingTier(
+            name="edge",
+            rules=(ForwardRule(Name.from_text("nl"), "auth:nl"),),
+            upstreams=("auth:root",),
+        )
+        assert tier.chain_for(Name.from_text("example.nl")) == ("auth:nl",)
+        assert tier.chain_for(Name.from_text("example.org")) == ("auth:root",)
+
+    def test_client_group_routing(self):
+        topo = ServiceTopology.from_dict(
+            {
+                "default_tier": "wan",
+                "tiers": [
+                    {"name": "lan", "upstreams": ["auth:root"]},
+                    {"name": "wan", "upstreams": ["auth:root"]},
+                ],
+                "groups": [
+                    {"name": "lan", "prefixes": ["10.0.0.0/8"], "tier": "lan"}
+                ],
+            }
+        )
+        topo.validate({"root"})
+        assert topo.tier_for(IPAddress.parse("10.1.2.3")).name == "lan"
+        assert topo.tier_for(IPAddress.parse("192.0.2.1")).name == "wan"
+        # v6 sources never match a v4 prefix; they fall to the default.
+        assert topo.tier_for(IPAddress.parse("2001:db8::1")).name == "wan"
+
+    def test_dict_round_trip(self):
+        topo = default_topology("nl", resolver=True)
+        clone = ServiceTopology.from_dict(topo.to_dict())
+        assert clone == topo
+
+    def test_json_file_round_trip(self, tmp_path):
+        topo = default_topology("nz")
+        path = tmp_path / "topology.json"
+        path.write_text(json.dumps(topo.to_dict()))
+        assert ServiceTopology.from_json_file(str(path)) == topo
+
+    def test_malformed_payload_raises_topology_error(self):
+        with pytest.raises(TopologyError):
+            ServiceTopology.from_dict({"tiers": [{}]})
+
+
+# ---------------------------------------------------------------------------
+# dispatcher (no sockets)
+
+
+@pytest.fixture(scope="module")
+def live_world():
+    descriptor = dataset("nl-w2020")
+    metrics = MetricsRegistry()
+    world = build_authority_world(descriptor, 20201027, metrics)
+    return descriptor, world, metrics
+
+
+@pytest.fixture()
+def dispatcher(live_world):
+    descriptor, world, _ = live_world
+    clock = SimClock(now=descriptor.start)
+    return QueryDispatcher(
+        default_topology(descriptor.vantage),
+        world.server_sets,
+        clock,
+        network=world.network,
+    )
+
+
+def _query_for(world, qtype=RRType.A):
+    zone = world.vantage_zone
+    from repro.zones import domains_of
+
+    qname = domains_of(zone)[0]
+    return Message.make_query(qname, qtype, msg_id=4242)
+
+
+class TestDispatcher:
+    def test_answers_in_bailiwick_query(self, live_world, dispatcher):
+        _, world, _ = live_world
+        query = _query_for(world)
+        response = dispatcher.dispatch(CLIENT, Transport.UDP, query)
+        assert response is not None
+        assert response.msg_id == 4242
+        assert response.flags.qr
+        assert response.rcode is RCode.NOERROR
+        assert response.questions == query.questions
+        # And it round-trips through the wire codec (byte-valid).
+        decoded = Message.from_wire(response.to_wire(max_size=65535))
+        assert decoded.msg_id == 4242
+
+    def test_nxdomain_for_junk_name(self, dispatcher):
+        query = Message.make_query(
+            Name.from_text("no-such-name-zzz.nl"), RRType.A, msg_id=7
+        )
+        response = dispatcher.dispatch(CLIENT, Transport.UDP, query)
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_policy_sink_refuses_internal_suffix(self, dispatcher):
+        query = Message.make_query(
+            Name.from_text("db.internal.invalid."), RRType.A, msg_id=9
+        )
+        response = dispatcher.dispatch(CLIENT, Transport.UDP, query)
+        assert response.rcode is RCode.REFUSED
+
+    def test_non_query_opcode_notimp(self, dispatcher):
+        query = Message(
+            msg_id=11,
+            flags=Flags(opcode=Opcode.STATUS),
+            questions=[Question(Name.from_text("example.nl"), RRType.A)],
+        )
+        response = dispatcher.dispatch(CLIENT, Transport.UDP, query)
+        assert response.rcode is RCode.NOTIMP
+
+    def test_question_less_query_formerr(self, dispatcher):
+        query = Message(msg_id=13, flags=Flags())
+        response = dispatcher.dispatch(CLIENT, Transport.UDP, query)
+        assert response.rcode is RCode.FORMERR
+
+    def test_exhausted_chain_udp_silence_tcp_servfail(self, live_world):
+        descriptor, world, _ = live_world
+        # A tier whose only upstream is a single offline server.
+        topo = ServiceTopology(
+            tiers=(ForwardingTier(name="edge", upstreams=("auth:nl/nl-a",)),),
+            default_tier="edge",
+        )
+        clock = SimClock(now=descriptor.start)
+        dispatcher = QueryDispatcher(
+            topo, world.server_sets, clock, network=world.network
+        )
+        server = world.server_sets["nl"].by_id("nl-a")
+        server.online = False
+        try:
+            query = _query_for(world)
+            assert dispatcher.dispatch(CLIENT, Transport.UDP, query) is None
+            tcp = dispatcher.dispatch(CLIENT, Transport.TCP, query)
+            assert tcp is not None and tcp.rcode is RCode.SERVFAIL
+        finally:
+            server.online = True
+
+    def test_rrl_fallback_to_next_server(self, live_world):
+        descriptor, world, _ = live_world
+        clock = SimClock(now=descriptor.start)
+        dispatcher = QueryDispatcher(
+            default_topology(descriptor.vantage),
+            world.server_sets,
+            clock,
+            network=world.network,
+        )
+        nl_set = world.server_sets["nl"]
+        first = nl_set.servers[0]
+        saved = first._rrl_config
+        first.configure_rrl(
+            RRLConfig(responses_per_second=0.0, burst=0.0, slip=0)
+        )
+        try:
+            response = dispatcher.dispatch(
+                CLIENT, Transport.UDP, _query_for(world)
+            )
+            # The NS set has more than one member; the chain falls through.
+            assert response is not None
+        finally:
+            first.configure_rrl(saved)
+
+
+# ---------------------------------------------------------------------------
+# real sockets, end to end
+
+
+def _serve_config(**overrides):
+    base = dict(udp_port=0, metrics_port=None, drain_timeout_s=2.0)
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+async def _with_service(config, fn):
+    service = DnsService(config)
+    await service.start()
+    try:
+        return await fn(service)
+    finally:
+        await service.stop()
+
+
+class TestLiveService:
+    def test_udp_and_tcp_round_trip(self):
+        async def scenario(service):
+            report = await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port,
+                    tcp_port=service.tcp_port,
+                    queries=120,
+                    tcp_fraction=0.25,
+                    concurrency=16,
+                    timeout_s=5.0,
+                )
+            )
+            return report
+
+        report = asyncio.run(_with_service(_serve_config(), scenario))
+        assert report.sent == 120
+        assert report.answered_fraction >= 0.99
+        assert report.udp_sent > 0 and report.tcp_sent > 0
+        assert report.decode_errors == 0
+        assert "NOERROR" in report.rcodes
+
+    def test_single_udp_exchange_bytes(self):
+        async def scenario(service):
+            loop = asyncio.get_running_loop()
+
+            class OneShot(asyncio.DatagramProtocol):
+                def __init__(self):
+                    self.reply = loop.create_future()
+
+                def connection_made(self, transport):
+                    self.transport = transport
+
+                def datagram_received(self, data, addr):
+                    if not self.reply.done():
+                        self.reply.set_result(data)
+
+            transport, protocol = await loop.create_datagram_endpoint(
+                OneShot, remote_addr=("127.0.0.1", service.udp_port)
+            )
+            try:
+                query = Message.make_query(
+                    Name.from_text("no-such-name-zzz.nl"), RRType.A, msg_id=99
+                )
+                transport.sendto(query.to_wire())
+                wire = await asyncio.wait_for(protocol.reply, timeout=5.0)
+            finally:
+                transport.close()
+            return wire
+
+        wire = asyncio.run(_with_service(_serve_config(), scenario))
+        response = Message.from_wire(wire)
+        assert response.msg_id == 99
+        assert response.flags.qr
+        assert response.rcode is RCode.NXDOMAIN
+
+    def test_udp_garbage_gets_formerr(self):
+        async def scenario(service):
+            loop = asyncio.get_running_loop()
+
+            class OneShot(asyncio.DatagramProtocol):
+                def __init__(self):
+                    self.reply = loop.create_future()
+
+                def connection_made(self, transport):
+                    self.transport = transport
+
+                def datagram_received(self, data, addr):
+                    if not self.reply.done():
+                        self.reply.set_result(data)
+
+            transport, protocol = await loop.create_datagram_endpoint(
+                OneShot, remote_addr=("127.0.0.1", service.udp_port)
+            )
+            try:
+                # Valid header claiming one question, then garbage.
+                garbage = (
+                    b"\x12\x34" b"\x00\x00" b"\x00\x01"
+                    b"\x00\x00" b"\x00\x00" b"\x00\x00" b"\xff\xff\xff"
+                )
+                transport.sendto(garbage)
+                wire = await asyncio.wait_for(protocol.reply, timeout=5.0)
+            finally:
+                transport.close()
+            return wire
+
+        wire = asyncio.run(_with_service(_serve_config(), scenario))
+        response = Message.from_wire(wire)
+        assert response.msg_id == 0x1234
+        assert response.rcode is RCode.FORMERR
+
+    def test_udp_short_and_response_datagrams_ignored(self):
+        async def scenario(service):
+            loop = asyncio.get_running_loop()
+
+            class Sink(asyncio.DatagramProtocol):
+                def __init__(self):
+                    self.replies = []
+
+                def connection_made(self, transport):
+                    self.transport = transport
+
+                def datagram_received(self, data, addr):
+                    self.replies.append(data)
+
+            transport, protocol = await loop.create_datagram_endpoint(
+                Sink, remote_addr=("127.0.0.1", service.udp_port)
+            )
+            try:
+                transport.sendto(b"\x01\x02\x03")  # short
+                # QR=1 response packet: must never be answered.
+                reflected = Message(
+                    msg_id=5, flags=Flags(qr=True)
+                ).to_wire(max_size=512)
+                transport.sendto(reflected)
+                await asyncio.sleep(0.3)
+            finally:
+                transport.close()
+            snapshot = service.snapshot()
+            ignored = sum(
+                value
+                for key, value in snapshot.counters.items()
+                if "service.ignored" in str(key)
+            )
+            return protocol.replies, ignored
+
+        replies, ignored = asyncio.run(_with_service(_serve_config(), scenario))
+        assert replies == []
+        assert ignored == 2
+
+    def test_tcp_framing_and_close(self):
+        async def scenario(service):
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.tcp_port
+            )
+            query = Message.make_query(
+                Name.from_text("no-such-name-zzz.nl"), RRType.A, msg_id=21
+            )
+            wire = query.to_wire()
+            writer.write(len(wire).to_bytes(2, "big") + wire)
+            await writer.drain()
+            prefix = await asyncio.wait_for(reader.readexactly(2), timeout=5.0)
+            payload = await asyncio.wait_for(
+                reader.readexactly(int.from_bytes(prefix, "big")), timeout=5.0
+            )
+            # A zero-length frame ends the conversation.
+            writer.write(b"\x00\x00")
+            await writer.drain()
+            eof = await asyncio.wait_for(reader.read(1), timeout=5.0)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            return payload, eof
+
+        payload, eof = asyncio.run(_with_service(_serve_config(), scenario))
+        response = Message.from_wire(payload)
+        assert response.msg_id == 21
+        assert response.rcode is RCode.NXDOMAIN
+        assert eof == b""
+
+    def test_rrl_drops_live_udp(self):
+        async def scenario(service):
+            return await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port,
+                    queries=80,
+                    concurrency=32,
+                    timeout_s=0.4,
+                )
+            )
+
+        # One-shot bucket with slip disabled: after the first response per
+        # prefix the limiter drops everything (every client is 127.0.0.1).
+        config = _serve_config(
+            rrl=RRLConfig(responses_per_second=0.001, burst=1.0, slip=0)
+        )
+        report = asyncio.run(_with_service(config, scenario))
+        assert report.timeouts > 0
+        assert report.answered < report.sent
+
+    def test_chaos_with_fallback_keeps_answering(self):
+        async def scenario(service):
+            report = await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port,
+                    queries=150,
+                    concurrency=16,
+                    timeout_s=5.0,
+                )
+            )
+            snapshot = service.snapshot()
+            drops = sum(
+                value
+                for key, value in snapshot.counters.items()
+                if "service.fault_drops" in str(key)
+            )
+            return report, drops
+
+        # flaky-server halts *-a for the whole window; the NS set's other
+        # members keep the answered fraction at the acceptance bar.
+        config = _serve_config(chaos="flaky-server", chaos_seed=11)
+        report, drops = asyncio.run(_with_service(config, scenario))
+        assert drops > 0, "chaos plan never fired on live traffic"
+        assert report.answered_fraction >= 0.99
+
+    def test_metrics_endpoint_serves_prometheus(self):
+        async def scenario(service):
+            await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port, queries=25, timeout_s=5.0
+                )
+            )
+            reader, writer = await asyncio.open_connection(
+                "127.0.0.1", service.metrics_port
+            )
+            writer.write(b"GET /metrics HTTP/1.0\r\n\r\n")
+            await writer.drain()
+            raw = await asyncio.wait_for(reader.read(-1), timeout=5.0)
+            writer.close()
+            return raw.decode()
+
+        raw = asyncio.run(
+            _with_service(_serve_config(metrics_port=0), scenario)
+        )
+        head, _, body = raw.partition("\r\n\r\n")
+        assert head.startswith("HTTP/1.0 200")
+        assert "text/plain; version=0.0.4" in head
+        assert "# TYPE repro_service_queries_total counter" in body
+        assert "repro_service_answered_total" in body
+        assert "repro_server_queries_total" in body
+
+    def test_metrics_endpoint_404_and_healthz(self):
+        async def scenario(service):
+            async def get(path):
+                reader, writer = await asyncio.open_connection(
+                    "127.0.0.1", service.metrics_port
+                )
+                writer.write(f"GET {path} HTTP/1.0\r\n\r\n".encode())
+                await writer.drain()
+                raw = await asyncio.wait_for(reader.read(-1), timeout=5.0)
+                writer.close()
+                return raw.decode()
+
+            return await get("/healthz"), await get("/nope")
+
+        health, missing = asyncio.run(
+            _with_service(_serve_config(metrics_port=0), scenario)
+        )
+        assert health.startswith("HTTP/1.0 200") and "ok" in health
+        assert missing.startswith("HTTP/1.0 404")
+
+    def test_graceful_shutdown_final_snapshot(self):
+        async def scenario():
+            service = DnsService(_serve_config())
+            await service.start()
+            await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port, queries=30, timeout_s=5.0
+                )
+            )
+            first = await service.stop()
+            second = await service.stop()  # idempotent
+            return service, first, second
+
+        service, first, second = asyncio.run(scenario())
+        assert first is second is service.final_snapshot
+        queries = sum(
+            value
+            for key, value in first.counters.items()
+            if "service.queries" in str(key)
+        )
+        assert queries == 30
+        shutdowns = sum(
+            value
+            for key, value in first.counters.items()
+            if "service.shutdowns" in str(key)
+        )
+        assert shutdowns == 1
+
+    def test_resolver_frontend_answers(self):
+        async def scenario(service):
+            return await run_loadgen(
+                LoadGenConfig(
+                    udp_port=service.udp_port,
+                    queries=60,
+                    concurrency=8,
+                    timeout_s=5.0,
+                )
+            )
+
+        config = _serve_config(resolver_frontend=True)
+        report = asyncio.run(_with_service(config, scenario))
+        assert report.answered_fraction >= 0.99
+        assert "NOERROR" in report.rcodes
+
+
+# ---------------------------------------------------------------------------
+# classification helpers
+
+
+class TestClassify:
+    def test_classifies_valid_query(self):
+        wire = Message.make_query(
+            Name.from_text("example.nl"), RRType.A, msg_id=3
+        ).to_wire()
+        kind, payload = classify_datagram(wire)
+        assert kind == "query"
+        assert payload.msg_id == 3
+
+    def test_short_ignored(self):
+        assert classify_datagram(b"123")[0] == "ignore"
+
+    def test_response_ignored(self):
+        wire = Message(msg_id=8, flags=Flags(qr=True)).to_wire(max_size=512)
+        assert classify_datagram(wire) == ("ignore", "response")
+
+    def test_formerr_echoes_id(self):
+        # Header claims one question but the question is truncated.
+        garbage = b"\xab\xcd\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00\xff"
+        kind, msg_id = classify_datagram(garbage)
+        assert kind == "formerr"
+        assert msg_id == 0xABCD
+        reply = Message.from_wire(formerr_response(msg_id))
+        assert reply.msg_id == 0xABCD
+        assert reply.rcode is RCode.FORMERR

@@ -1,0 +1,119 @@
+"""Fuzzing the untrusted-input path: random bytes from socket to server.
+
+Satellite of the live service mode: the UDP endpoint must classify every
+possible datagram deterministically (ignore / FORMERR / query), the wire
+codec must raise nothing but :class:`~repro.dnscore.WireDecodeError`, and
+queries that *do* decode must dispatch through the live world without an
+uncaught exception — whatever bytes a hostile client sends.
+"""
+
+import struct
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.capture import Transport
+from repro.dnscore import Message, Name, RRType, WireDecodeError
+from repro.dnscore.message import HEADER_LENGTH
+from repro.netsim import IPAddress, SimClock
+from repro.service import QueryDispatcher, classify_datagram, default_topology
+from repro.sim import build_authority_world
+from repro.telemetry import MetricsRegistry
+from repro.workload import dataset
+
+CLIENT = IPAddress.parse("203.0.113.7")
+
+raw_datagrams = st.binary(min_size=0, max_size=300)
+
+
+def _valid_query_wire() -> bytes:
+    return Message.make_query(
+        Name.from_text("www.example.nl"), RRType.A, msg_id=0x0102
+    ).to_wire()
+
+
+mutations = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=10_000),
+              st.integers(min_value=0, max_value=255)),
+    min_size=1,
+    max_size=8,
+)
+
+
+@pytest.fixture(scope="module")
+def fuzz_dispatcher():
+    descriptor = dataset("nl-w2020")
+    world = build_authority_world(descriptor, 20201027, MetricsRegistry())
+    return QueryDispatcher(
+        default_topology(descriptor.vantage),
+        world.server_sets,
+        SimClock(now=descriptor.start),
+        network=world.network,
+    )
+
+
+@given(wire=raw_datagrams)
+def test_from_wire_raises_only_wire_decode_error(wire):
+    try:
+        Message.from_wire(wire)
+    except WireDecodeError:
+        pass
+
+
+@given(wire=raw_datagrams)
+def test_classify_is_total_and_deterministic(wire):
+    kind, payload = classify_datagram(wire)
+    assert kind in ("query", "formerr", "ignore")
+    if len(wire) < HEADER_LENGTH:
+        assert (kind, payload) == ("ignore", "short")
+    elif struct.unpack_from("!H", wire, 2)[0] & 0x8000:
+        assert (kind, payload) == ("ignore", "response")
+    if kind == "formerr":
+        assert payload == struct.unpack_from("!H", wire, 0)[0]
+    if kind == "query":
+        assert payload.msg_id == struct.unpack_from("!H", wire, 0)[0]
+    # Deterministic: same bytes, same verdict.
+    again_kind, again_payload = classify_datagram(wire)
+    assert again_kind == kind
+    if kind != "query":
+        assert again_payload == payload
+
+
+@given(muts=mutations)
+@settings(suppress_health_check=[HealthCheck.function_scoped_fixture],
+          deadline=None)
+def test_mutated_queries_never_crash_dispatch(fuzz_dispatcher, muts):
+    wire = bytearray(_valid_query_wire())
+    for offset, value in muts:
+        wire[offset % len(wire)] = value
+    kind, payload = classify_datagram(bytes(wire))
+    assert kind in ("query", "formerr", "ignore")
+    if kind == "query":
+        response = fuzz_dispatcher.dispatch(CLIENT, Transport.UDP, payload)
+        # Silence is legal; an answer must be a well-formed wire message.
+        if response is not None:
+            Message.from_wire(response.to_wire(max_size=65535))
+
+
+@given(wire=raw_datagrams)
+@settings(suppress_health_check=[HealthCheck.function_scoped_fixture],
+          deadline=None)
+def test_random_datagrams_never_crash_dispatch(fuzz_dispatcher, wire):
+    kind, payload = classify_datagram(wire)
+    if kind == "query":
+        fuzz_dispatcher.dispatch(CLIENT, Transport.UDP, payload)
+
+
+def test_forward_pointer_loop_rejected():
+    # A name whose compression pointer points at (or past) itself must be
+    # rejected as FORMERR, not spin or recurse: header + qd=1, then a
+    # pointer to the question's own offset.
+    wire = (
+        b"\x00\x01\x00\x00\x00\x01\x00\x00\x00\x00\x00\x00"
+        + b"\xc0\x0c"  # pointer to itself (offset 12)
+        + b"\x00\x01\x00\x01"
+    )
+    with pytest.raises(WireDecodeError):
+        Message.from_wire(wire)
+    assert classify_datagram(wire)[0] == "formerr"
