@@ -1,0 +1,87 @@
+"""Benchmark: the resilience layer under choreographed chaos.
+
+Runs the ``repro soak`` harness — a full blackout of the dataset's
+authoritative tier over the middle of the run, plus 2x-capacity open-loop
+offered load against the admission gate — and writes
+``BENCH_resilience.json`` next to this file: the shed ratio the token
+bucket enforced, the answered-or-graceful fraction of admitted queries,
+client-observed p50/p99 latency, and the breaker open/close cycle counts
+observed through the public ``/metrics`` endpoint.
+
+The soak's SLOs are asserted here too — this benchmark doubles as the
+acceptance bar of the resilience tentpole: >= 99% of admitted queries
+answered-or-graceful within the deadline, and the blacked-out tier's
+breakers must open during the outage and re-close after recovery.
+"""
+
+import json
+import os
+import time
+
+from conftest import emit
+
+from repro.service import SoakConfig, run_soak_sync
+
+BENCH_RESILIENCE_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_resilience.json"
+)
+
+DATASET = "nl-w2020"
+SEED = 20201027
+DURATION_S = 8.0
+OFFERED_QPS = 240.0
+ADMISSION_QPS = 120.0
+
+
+def test_bench_resilience():
+    report = run_soak_sync(
+        SoakConfig(
+            dataset_id=DATASET,
+            seed=SEED,
+            duration_s=DURATION_S,
+            offered_qps=OFFERED_QPS,
+            admission_qps=ADMISSION_QPS,
+        )
+    )
+
+    payload = {
+        "generated_unix": time.time(),
+        "dataset": DATASET,
+        "seed": SEED,
+        "how_to_read": (
+            "one chaos soak over real loopback sockets: open-loop load at "
+            "2x the admission capacity while the dataset's authoritative "
+            "tier is fully blacked out for the middle of the run; "
+            "shed_ratio is what the token bucket turned away, "
+            "answered_or_graceful is the fraction of *admitted* queries "
+            "that got an answer or a graceful SERVFAIL within the client "
+            "deadline, and the breaker counts come from /metrics scrapes"
+        ),
+        "duration_s": DURATION_S,
+        "offered_qps": OFFERED_QPS,
+        "admission_qps": ADMISSION_QPS,
+        "deadline_ms": report.config["deadline_ms"],
+        "shed": report.shed,
+        "admitted": report.admitted,
+        "shed_ratio": report.shed_ratio,
+        "answered_or_graceful": report.answered_or_graceful,
+        "p50_ms": report.p50_ms,
+        "p99_ms": report.p99_ms,
+        "breaker_opened": report.breaker_opened,
+        "breaker_closed": report.breaker_closed,
+        "breaker_open_observed": report.breaker_open_observed,
+        "deadline_exhausted": report.deadline_exhausted,
+        "monotonic_clamps": report.monotonic_clamps,
+        "slos": dict(report.slos),
+    }
+    with open(BENCH_RESILIENCE_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    emit(
+        f"resilience: {DATASET} — {report.summary()}"
+    )
+
+    assert report.passed, report.failures
+    assert report.shed > 0  # the 2x overload actually exercised the gate
+    assert report.breaker_open_observed

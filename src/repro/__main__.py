@@ -23,7 +23,13 @@ Commands
 ``loadgen``
     Replay workload-layer query streams against a running ``serve``
     instance and report q/s + latency percentiles (``--min-answered``
-    turns the report into a CI gate).
+    turns the report into a CI gate; ``--rate`` offers open-loop load).
+``soak``
+    Chaos soak: boot a server on ephemeral ports with admission control
+    at ``--admission-qps``, black out the vantage's authoritative tier
+    mid-run, offer ``--offered-qps`` open-loop, and gate on SLOs
+    (answered-or-graceful ratio, p99 under deadline, breaker
+    open/close cycle observed via ``/metrics``); exit 1 on SLO failure.
 
 Observability flags (see README "Observability"): ``-v/-vv`` turn on
 progress/debug logging, ``--telemetry-out PATH`` exports the run's
@@ -255,7 +261,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     import signal
 
     from .server import RRLConfig
-    from .service import ServiceConfig, ServiceTopology, DnsService
+    from .service import (
+        DnsService,
+        ResilienceConfig,
+        ServiceConfig,
+        ServiceTopology,
+    )
 
     topology = None
     if args.topology:
@@ -264,6 +275,13 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     if args.rrl and args.rrl > 0:
         rrl = RRLConfig(responses_per_second=args.rrl, burst=2.0 * args.rrl)
     chaos = args.chaos or os.environ.get(CHAOS_ENV) or None
+    resilience = ResilienceConfig(
+        admission_rate_qps=args.admission_qps if args.admission_qps > 0 else None,
+        shed_policy=args.shed_policy,
+        breakers=not args.no_breakers,
+        deadline_ms=args.deadline_ms if args.deadline_ms > 0 else None,
+        hedge=args.hedge,
+    )
     config = ServiceConfig(
         dataset_id=args.dataset_id,
         host=args.host,
@@ -277,6 +295,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         fault_window_s=args.fault_window,
         topology=topology,
         resolver_frontend=args.resolver,
+        resilience=resilience,
     )
 
     async def _serve() -> None:
@@ -330,6 +349,7 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         queries=args.queries,
         concurrency=args.concurrency,
         timeout_s=args.timeout,
+        rate_qps=args.rate if args.rate > 0 else None,
         tcp_fraction=args.tcp_fraction,
         streams=args.streams,
         junk_fraction=args.junk_fraction,
@@ -341,6 +361,8 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(f"  {rcode:<10} {count}")
     if report.timeouts:
         print(f"  timeouts   {report.timeouts}")
+    if report.late:
+        print(f"  late       {report.late}")
     if args.json:
         with open(args.json, "w") as handle:
             json.dump(report.as_dict(), handle, indent=2)
@@ -349,6 +371,40 @@ def _cmd_loadgen(args: argparse.Namespace) -> int:
         print(
             f"ERROR: answered fraction {report.answered_fraction:.4f} below "
             f"--min-answered {args.min_answered}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def _cmd_soak(args: argparse.Namespace) -> int:
+    import json
+
+    from .service import SoakConfig, run_soak_sync
+
+    config = SoakConfig(
+        dataset_id=args.dataset_id,
+        seed=args.seed,
+        duration_s=args.duration,
+        offered_qps=args.offered_qps,
+        admission_qps=args.admission_qps,
+        shed_policy=args.shed_policy,
+        deadline_ms=args.deadline_ms,
+        blackout_start_frac=args.blackout_start,
+        blackout_end_frac=args.blackout_end,
+        slo_answered_fraction=args.slo_answered,
+    )
+    report = run_soak_sync(config)
+    print(report.summary())
+    for name, ok in sorted(report.slos.items()):
+        print(f"  SLO {name:<22} {'PASS' if ok else 'FAIL'}")
+    if args.json:
+        with open(args.json, "w") as handle:
+            json.dump(report.as_dict(), handle, indent=2)
+        print(f"wrote soak report to {args.json}", file=sys.stderr)
+    if not report.passed:
+        print(
+            f"ERROR: soak SLOs failed: {', '.join(report.failures)}",
             file=sys.stderr,
         )
         return 1
@@ -512,6 +568,23 @@ def main(argv=None) -> int:
     p_serve.add_argument("--metrics-out", metavar="PATH",
                          help="write the final snapshot in Prometheus"
                               " text format on shutdown")
+    p_serve.add_argument("--admission-qps", type=float, default=0.0,
+                         metavar="RATE",
+                         help="token-bucket admission control at RATE"
+                              " queries/s (0 = no admission limit)")
+    p_serve.add_argument("--shed-policy", choices=("drop", "servfail"),
+                         default="servfail",
+                         help="what an over-capacity query gets: silence"
+                              " or SERVFAIL-with-TC (default: servfail)")
+    p_serve.add_argument("--deadline-ms", type=float, default=1500.0,
+                         help="per-query deadline budget; exhausted"
+                              " budgets answer SERVFAIL (0 = off,"
+                              " restoring silence; default: 1500)")
+    p_serve.add_argument("--no-breakers", action="store_true",
+                         help="disable per-upstream circuit breakers")
+    p_serve.add_argument("--hedge", action="store_true",
+                         help="hedged retries: charge retransmits half"
+                              " an attempt timeout")
     p_serve.set_defaults(func=_cmd_serve)
 
     p_loadgen = sub.add_parser(
@@ -549,9 +622,51 @@ def main(argv=None) -> int:
                            metavar="FRACTION",
                            help="exit 1 if the answered fraction falls"
                                 " below this (CI gate)")
+    p_loadgen.add_argument("--rate", type=float, default=0.0,
+                           metavar="QPS",
+                           help="open-loop offered rate in queries/s"
+                                " (0 = closed loop via --concurrency)")
     p_loadgen.add_argument("--json", metavar="PATH", default=None,
                            help="write the full report as JSON")
     p_loadgen.set_defaults(func=_cmd_loadgen)
+
+    p_soak = sub.add_parser(
+        "soak", help="chaos soak: blackout + overload against a live"
+                     " server with SLO gates"
+    )
+    p_soak.add_argument("dataset_id", nargs="?", default="nl-w2020",
+                        help="dataset to serve and load (default:"
+                             " nl-w2020)")
+    p_soak.add_argument("--duration", type=float, default=8.0,
+                        metavar="SECONDS",
+                        help="soak length (default: 8)")
+    p_soak.add_argument("--offered-qps", type=float, default=300.0,
+                        help="open-loop offered load (default: 300,"
+                             " 2x the admission capacity)")
+    p_soak.add_argument("--admission-qps", type=float, default=150.0,
+                        help="admission-control capacity (default: 150)")
+    p_soak.add_argument("--shed-policy", choices=("drop", "servfail"),
+                        default="drop",
+                        help="shed policy under overload (default: drop)")
+    p_soak.add_argument("--deadline-ms", type=float, default=1500.0,
+                        help="per-query deadline budget (default: 1500)")
+    p_soak.add_argument("--blackout-start", type=float, default=0.25,
+                        metavar="FRAC",
+                        help="blackout start as a fraction of the soak"
+                             " (default: 0.25)")
+    p_soak.add_argument("--blackout-end", type=float, default=0.6,
+                        metavar="FRAC",
+                        help="blackout end as a fraction of the soak"
+                             " (default: 0.6)")
+    p_soak.add_argument("--slo-answered", type=float, default=0.99,
+                        metavar="FRACTION",
+                        help="answered-or-graceful SLO over admitted"
+                             " queries (default: 0.99)")
+    p_soak.add_argument("--seed", type=int, default=20201027,
+                        help="world/stream seed (default: 20201027)")
+    p_soak.add_argument("--json", metavar="PATH", default=None,
+                        help="write the soak report as JSON")
+    p_soak.set_defaults(func=_cmd_soak)
 
     p_trace = sub.add_parser(
         "trace", help="summarise an exported trace file"

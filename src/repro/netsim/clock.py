@@ -97,7 +97,7 @@ class WallClock:
     result against floating-point jitter.
     """
 
-    __slots__ = ("_epoch_anchor", "_mono_anchor", "_last")
+    __slots__ = ("_epoch_anchor", "_mono_anchor", "_last", "_clamps")
 
     def __init__(
         self,
@@ -107,17 +107,30 @@ class WallClock:
         self._epoch_anchor = time.time() if epoch_anchor is None else float(epoch_anchor)
         self._mono_anchor = time.monotonic() if monotonic is None else float(monotonic)
         self._last = self._epoch_anchor
+        self._clamps = 0
 
     @property
     def now(self) -> float:
         """Alias for :meth:`read` mirroring ``SimClock.now``."""
         return self.read()
 
+    @property
+    def clamps(self) -> int:
+        """Backwards-clamp events since construction.
+
+        Each count is one :meth:`read` whose raw value would have gone
+        backwards and was pinned to the previous reading.  The live
+        service surfaces this as the ``clock.monotonic_clamps`` counter so
+        time anomalies during long soaks are observable.
+        """
+        return self._clamps
+
     def read(self) -> float:
         """Current wall time (:class:`Clock` protocol), never decreasing."""
         value = self._epoch_anchor + (time.monotonic() - self._mono_anchor)
         if value < self._last:
             value = self._last
+            self._clamps += 1
         else:
             self._last = value
         return value

@@ -31,6 +31,7 @@ from .env_cache import (
 )
 from .executor import (
     FAULT_CRASH,
+    FAULT_EXIT,
     FAULT_HANG,
     POOL_START_ENV,
     pool_context,
@@ -52,6 +53,7 @@ __all__ = [
     "ENV_CACHE_ENV",
     "EnvironmentCache",
     "FAULT_CRASH",
+    "FAULT_EXIT",
     "FAULT_HANG",
     "POOL_START_ENV",
     "env_cache_capacity",

@@ -72,6 +72,9 @@ def pool_context():
 #: Injected-fault modes (testing hooks; see :attr:`RuntimeConfig.inject_faults`).
 FAULT_CRASH = "crash"
 FAULT_HANG = "hang"
+#: Hard worker death (``os._exit``): breaks the whole pool, exercising the
+#: BrokenProcessPool → serial-fallback recovery path end to end.
+FAULT_EXIT = "exit"
 
 #: How long an injected ``hang`` fault sleeps before proceeding.  Short
 #: enough that pool shutdown after a timed-out test shard stays cheap.
@@ -248,6 +251,10 @@ def execute_shard_task(task: ShardTask) -> ShardResult:
         raise RuntimeError(f"injected crash in shard {task.shard_index}")
     if task.fault == FAULT_HANG:
         time.sleep(_HANG_SECONDS)
+    if task.fault == FAULT_EXIT:
+        # Injected faults never reach the serial fallback (stripped there),
+        # so this can only kill a pool worker, not the parent.
+        os._exit(17)
 
     from ..sim.driver import simulate_shard
 

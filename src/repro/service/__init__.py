@@ -24,6 +24,27 @@ from .loadgen import (
     run_loadgen,
     run_loadgen_sync,
 )
+from .resilience import (
+    BREAKER_CLOSED,
+    BREAKER_HALF_OPEN,
+    BREAKER_OPEN,
+    SHED_DROP,
+    SHED_POLICIES,
+    SHED_SERVFAIL,
+    BreakerBoard,
+    CircuitBreaker,
+    Deadline,
+    ResilienceConfig,
+    TokenBucket,
+)
+from .soak import (
+    SoakConfig,
+    SoakReport,
+    parse_prometheus_text,
+    run_soak,
+    run_soak_sync,
+    scrape_metrics,
+)
 from .topology import (
     MAX_TIER_HOPS,
     POLICY_SINKS,
@@ -51,6 +72,23 @@ __all__ = [
     "build_query_stream",
     "run_loadgen",
     "run_loadgen_sync",
+    "BREAKER_CLOSED",
+    "BREAKER_HALF_OPEN",
+    "BREAKER_OPEN",
+    "SHED_DROP",
+    "SHED_POLICIES",
+    "SHED_SERVFAIL",
+    "BreakerBoard",
+    "CircuitBreaker",
+    "Deadline",
+    "ResilienceConfig",
+    "TokenBucket",
+    "SoakConfig",
+    "SoakReport",
+    "parse_prometheus_text",
+    "run_soak",
+    "run_soak_sync",
+    "scrape_metrics",
     "MAX_TIER_HOPS",
     "POLICY_SINKS",
     "ClientGroup",

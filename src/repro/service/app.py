@@ -18,11 +18,12 @@ from __future__ import annotations
 
 import asyncio
 import logging
-from dataclasses import dataclass
+from dataclasses import dataclass, field, replace
 from types import SimpleNamespace
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from ..capture import Transport
+from ..dnscore import RCode
 from ..dnscore.edns import effective_udp_limit
 from ..faults import FaultInjector, derive_fault_seed
 from ..faults.scenarios import chaos_scenario
@@ -37,6 +38,7 @@ from ..sim.driver import (
 from ..telemetry import MetricsRegistry, TelemetrySnapshot, to_prometheus
 from ..workload import dataset
 from .dispatch import QueryDispatcher
+from .resilience import SHED_SERVFAIL, ResilienceConfig
 from .endpoints import (
     UdpEndpoint,
     classify_datagram,
@@ -67,12 +69,32 @@ class ServiceConfig:
     rrl: Optional[RRLConfig] = None
     chaos: Optional[str] = None   #: named chaos scenario, live
     chaos_seed: Optional[int] = None
+    #: Explicit fault plan; wins over ``chaos`` (the soak harness builds
+    #: custom blackout schedules this way).
+    fault_plan: Optional[object] = None
     #: Live fault plans replay their capture-window choreography over this
     #: many seconds of service uptime (sim plans use the dataset window).
     fault_window_s: float = 3600.0
     topology: Optional[ServiceTopology] = None
     resolver_frontend: bool = False
     drain_timeout_s: float = 5.0
+    #: The self-healing layer: admission control, circuit breakers,
+    #: deadline budgets.  Default-constructed = breakers + deadlines on,
+    #: admission off; ``ResilienceConfig(deadline_ms=None, breakers=False)``
+    #: restores the exact PR 7 fair-weather semantics.
+    resilience: ResilienceConfig = field(default_factory=ResilienceConfig)
+    #: Slow-loris guards on the TCP DNS endpoint: maximum idle seconds
+    #: between frames, and maximum seconds to deliver a started frame
+    #: (half a length prefix counts as a started frame).  ``None`` = no
+    #: limit.
+    tcp_idle_timeout_s: Optional[float] = 30.0
+    tcp_frame_timeout_s: Optional[float] = 10.0
+    #: Watchdog cadence for endpoint supervision (0 disables it).
+    watchdog_interval_s: float = 1.0
+    #: Base delay for watchdog restart backoff (doubles per failure).
+    watchdog_backoff_s: float = 0.5
+    #: A restart within this window keeps ``/healthz`` in ``degraded``.
+    degraded_window_s: float = 30.0
 
 
 class DnsService:
@@ -93,6 +115,13 @@ class DnsService:
         self._conn_tasks: set = set()
         self._shutdown = asyncio.Event()
         self._stopped = False
+        self._draining = False
+        self._admission = config.resilience.make_bucket()
+        self._watchdog_task: Optional[asyncio.Task] = None
+        self._bound_ports: Dict[str, Optional[int]] = {}
+        self._restart_backoff: Dict[str, float] = {}
+        self._restart_not_before: Dict[str, float] = {}
+        self._last_restart_at: Optional[float] = None
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -108,8 +137,10 @@ class DnsService:
                 if config.rrl is not None:
                     server.configure_rrl(config.rrl)
 
-        if config.chaos:
+        plan = config.fault_plan
+        if plan is None and config.chaos:
             plan = chaos_scenario(config.chaos)
+        if plan is not None:
             fault_seed = (
                 config.chaos_seed
                 if config.chaos_seed is not None
@@ -122,8 +153,9 @@ class DnsService:
                 plan, fault_seed, self.clock.read(), config.fault_window_s
             )
             logger.info(
-                "serving with chaos scenario %r over a %.0fs window",
-                config.chaos, config.fault_window_s,
+                "serving with fault plan %r over a %.0fs window",
+                getattr(plan, "name", None) or config.chaos,
+                config.fault_window_s,
             )
 
         if config.resolver_frontend:
@@ -149,6 +181,7 @@ class DnsService:
             network=self.world.network,
             resolver=self.resolver,
             metrics=self.metrics,
+            resilience=config.resilience,
         )
 
         loop = asyncio.get_running_loop()
@@ -166,6 +199,15 @@ class DnsService:
             self._metrics_server = await asyncio.start_server(
                 self._metrics_connected, host=config.host, port=config.metrics_port
             )
+        # Pin the bound numbers so watchdog restarts reclaim the same
+        # addresses even when the config asked for ephemeral ports.
+        self._bound_ports = {
+            "udp": self.udp_port,
+            "tcp": self.tcp_port,
+            "metrics": self.metrics_port,
+        }
+        if config.watchdog_interval_s > 0:
+            self._watchdog_task = asyncio.ensure_future(self._watchdog_loop())
         self._started_at = self.clock.read()
         logger.info(
             "repro serve up: dataset=%s udp=%s:%d tcp=%s:%d metrics=%s",
@@ -179,6 +221,14 @@ class DnsService:
         if self._stopped:
             return self.final_snapshot
         self._stopped = True
+        self._draining = True
+        if self._watchdog_task is not None:
+            self._watchdog_task.cancel()
+            try:
+                await self._watchdog_task
+            except asyncio.CancelledError:
+                pass
+            self._watchdog_task = None
         if self._udp_transport is not None:
             self._udp_transport.close()
         for server in (self._tcp_server, self._metrics_server):
@@ -221,17 +271,23 @@ class DnsService:
 
     @property
     def udp_port(self) -> int:
-        return self._udp_transport.get_extra_info("sockname")[1]
+        if self._udp_transport is not None and not self._udp_transport.is_closing():
+            return self._udp_transport.get_extra_info("sockname")[1]
+        return self._bound_ports.get("udp")
 
     @property
     def tcp_port(self) -> int:
-        return self._tcp_server.sockets[0].getsockname()[1]
+        if self._tcp_server is not None and self._tcp_server.sockets:
+            return self._tcp_server.sockets[0].getsockname()[1]
+        return self._bound_ports.get("tcp")
 
     @property
     def metrics_port(self) -> Optional[int]:
         if self._metrics_server is None:
-            return None
-        return self._metrics_server.sockets[0].getsockname()[1]
+            return self._bound_ports.get("metrics")
+        if self._metrics_server.sockets:
+            return self._metrics_server.sockets[0].getsockname()[1]
+        return self._bound_ports.get("metrics")
 
     def ports(self) -> Dict[str, Optional[int]]:
         """The bound port numbers (for ``--port-file`` scripting)."""
@@ -241,7 +297,156 @@ class DnsService:
             "metrics": self.metrics_port,
         }
 
+    # -- supervision & health ----------------------------------------------
+
+    async def _watchdog_loop(self) -> None:
+        """Periodically revive dead endpoints (restart with backoff).
+
+        An endpoint task that crashes — the UDP transport closing under an
+        OS error, a listener dropping out — is rebound on its original
+        port.  Failed restarts back off exponentially so a genuinely
+        unavailable address doesn't turn the watchdog into a busy loop.
+        """
+        interval = self.config.watchdog_interval_s
+        while not self._stopped:
+            await asyncio.sleep(interval)
+            if self._stopped:
+                return
+            self.metrics.counter("service.watchdog.checks").inc()
+            now = self.clock.read()
+            if self._udp_transport is None or self._udp_transport.is_closing():
+                await self._revive("udp", now, self._restart_udp)
+            if self._tcp_server is None or not self._tcp_server.is_serving():
+                await self._revive("tcp", now, self._restart_tcp)
+            if (
+                self.config.metrics_port is not None
+                and (self._metrics_server is None
+                     or not self._metrics_server.is_serving())
+            ):
+                await self._revive("metrics", now, self._restart_metrics)
+
+    async def _revive(self, endpoint: str, now: float, restart) -> None:
+        if now < self._restart_not_before.get(endpoint, 0.0):
+            return
+        try:
+            await restart()
+        except OSError as exc:
+            backoff = self._restart_backoff.get(
+                endpoint, self.config.watchdog_backoff_s
+            )
+            self._restart_not_before[endpoint] = now + backoff
+            self._restart_backoff[endpoint] = min(30.0, backoff * 2.0)
+            self.metrics.counter(
+                "service.watchdog.restart_failures", endpoint=endpoint
+            ).inc()
+            logger.warning(
+                "watchdog: %s endpoint restart failed (%s); retrying in %.1fs",
+                endpoint, exc, backoff,
+            )
+            return
+        self._restart_backoff.pop(endpoint, None)
+        self._restart_not_before.pop(endpoint, None)
+        self._last_restart_at = now
+        self.metrics.counter(
+            "service.watchdog.restarts", endpoint=endpoint
+        ).inc()
+        logger.warning("watchdog: restarted the %s endpoint", endpoint)
+
+    async def _restart_udp(self) -> None:
+        loop = asyncio.get_running_loop()
+        self._udp_transport, _ = await loop.create_datagram_endpoint(
+            lambda: UdpEndpoint(self),
+            local_addr=(self.config.host, self._bound_ports["udp"]),
+        )
+
+    async def _restart_tcp(self) -> None:
+        if self._tcp_server is not None:
+            self._tcp_server.close()
+        self._tcp_server = await asyncio.start_server(
+            self._tcp_connected,
+            host=self.config.host,
+            port=self._bound_ports["tcp"],
+        )
+
+    async def _restart_metrics(self) -> None:
+        if self._metrics_server is not None:
+            self._metrics_server.close()
+        self._metrics_server = await asyncio.start_server(
+            self._metrics_connected,
+            host=self.config.host,
+            port=self._bound_ports["metrics"],
+        )
+
+    def health(self) -> Tuple[str, int]:
+        """The live/ready/degraded state machine behind ``/healthz``.
+
+        Contract (documented in the README): ``starting`` and ``draining``
+        answer 503 (not ready for traffic); ``ready`` and ``degraded``
+        answer 200 (still serving).  ``degraded`` means self-healing is
+        actively engaged — at least one circuit breaker is not closed, or
+        an endpoint was restarted within ``degraded_window_s`` — so
+        operators should look even though clients are being answered.
+        """
+        if self._draining or self._stopped:
+            return "draining", 503
+        if self._started_at is None:
+            return "starting", 503
+        breakers = self.dispatcher.breakers if self.dispatcher else None
+        if breakers is not None and breakers.open_count() > 0:
+            return "degraded", 200
+        if (
+            self._last_restart_at is not None
+            and self.clock.read() - self._last_restart_at
+            < self.config.degraded_window_s
+        ):
+            return "degraded", 200
+        return "ready", 200
+
+    def render_healthz(self) -> Tuple[str, bytes]:
+        """(HTTP status line, body) for the ``/healthz`` endpoint."""
+        state, code = self.health()
+        status = "200 OK" if code == 200 else "503 Service Unavailable"
+        lines = [f"state: {state}"]
+        breakers = self.dispatcher.breakers if self.dispatcher else None
+        if breakers is not None:
+            lines.append(f"breakers_open: {breakers.open_count()}")
+        if self._last_restart_at is not None:
+            lines.append(
+                f"last_restart_s_ago: "
+                f"{self.clock.read() - self._last_restart_at:.1f}"
+            )
+        return status, ("\n".join(lines) + "\n").encode()
+
     # -- datagram / stream handlers ---------------------------------------
+
+    def _admit(self, transport_label: str, query):
+        """Token-bucket admission control at the socket edge.
+
+        Returns ``(admitted, shed_response)``: an over-capacity query is
+        shed *before* any dispatch work happens — silently under the
+        ``drop`` policy, or with a SERVFAIL-with-TC response under
+        ``servfail`` (an honest "overloaded, retry over TCP" signal).
+        """
+        bucket = self._admission
+        if bucket is None or bucket.try_take(self.clock.read()):
+            return True, None
+        if self.config.resilience.shed_policy == SHED_SERVFAIL:
+            self.metrics.counter(
+                "service.shed.servfail", transport=transport_label
+            ).inc()
+            response = query.make_response_skeleton()
+            response.set_rcode(RCode.SERVFAIL)
+            response.flags = replace(response.flags, tc=True)
+            return False, response
+        self.metrics.counter(
+            "service.shed.dropped", transport=transport_label
+        ).inc()
+        return False, None
+
+    def _servfail(self, query):
+        response = query.make_response_skeleton()
+        response.set_rcode(RCode.SERVFAIL)
+        return response
 
     def handle_datagram(self, transport, data: bytes, addr) -> None:
         """Answer one UDP datagram (runs inline on the event loop)."""
@@ -260,7 +465,19 @@ class DnsService:
             metrics.counter("service.ignored", cause="unparseable_peer").inc()
             return
         query = payload
-        response = self.dispatcher.dispatch(src, Transport.UDP, query)
+        admitted, shed = self._admit("udp", query)
+        if not admitted:
+            if shed is not None:
+                transport.sendto(
+                    shed.to_wire(max_size=effective_udp_limit(query.edns)), addr
+                )
+            return
+        try:
+            response = self.dispatcher.dispatch(src, Transport.UDP, query)
+        except Exception:  # dispatch must never take the endpoint down
+            logger.exception("dispatch failed for a UDP query")
+            metrics.counter("service.dispatch_errors", transport="udp").inc()
+            response = self._servfail(query)
         if response is None:
             return  # deliberate silence (RRL / fault / all upstreams down)
         wire = response.to_wire(max_size=effective_udp_limit(query.edns))
@@ -284,7 +501,16 @@ class DnsService:
             metrics.counter("service.ignored", cause="unparseable_peer").inc()
             return None
         query = payload
-        response = self.dispatcher.dispatch(src, Transport.TCP, query)
+        admitted, shed = self._admit("tcp", query)
+        if not admitted:
+            # drop policy over TCP = close the connection (still a shed).
+            return shed.to_wire(max_size=TCP_MAX_SIZE) if shed else None
+        try:
+            response = self.dispatcher.dispatch(src, Transport.TCP, query)
+        except Exception:  # dispatch must never take the endpoint down
+            logger.exception("dispatch failed for a TCP query")
+            metrics.counter("service.dispatch_errors", transport="tcp").inc()
+            response = self._servfail(query)
         # TCP dispatch degrades to SERVFAIL rather than silence.
         wire = response.to_wire(max_size=TCP_MAX_SIZE)
         metrics.counter("service.tcp_response_bytes").inc(len(wire))
@@ -336,6 +562,17 @@ class DnsService:
             roll.gauge("service.uptime_seconds").set(
                 self.clock.read() - self._started_at
             )
+        if self.dispatcher is not None and self.dispatcher.breakers is not None:
+            self.dispatcher.breakers.publish_metrics(roll)
+        if self._admission is not None:
+            roll.gauge("service.shed.bucket_level").set(self._admission.level)
+        # WallClock counts backwards-clamp events; surface them so time
+        # anomalies during long soaks are observable.
+        roll.counter("clock.monotonic_clamps").inc(
+            getattr(self.clock, "clamps", 0)
+        )
+        state, _ = self.health()
+        roll.gauge("service.health_state", state=state).set(1)
         return roll.snapshot()
 
     def render_metrics(self) -> str:

@@ -15,6 +15,7 @@ the plan cache), so no locking is needed anywhere in the shared world.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
 from typing import Optional
 
 from ..capture import Transport
@@ -23,6 +24,7 @@ from ..netsim import Clock, IPAddress
 from ..resolver import AuthorityNetwork
 from ..server import ServerSet
 from ..telemetry import MetricsRegistry
+from .resilience import BreakerBoard, Deadline, ResilienceConfig
 from .topology import MAX_TIER_HOPS, POLICY_SINKS, ServiceTopology
 
 #: Handshake RTT recorded for live TCP exchanges.  The capture schema wants
@@ -33,6 +35,16 @@ LIVE_TCP_RTT_MS = 0.0
 
 class DispatchError(Exception):
     """Internal dispatch failure (never raised for bad client input)."""
+
+
+@dataclass
+class _DispatchState:
+    """Per-query bookkeeping threaded through the chain walk."""
+
+    deadline: Optional[Deadline] = None
+    deadline_hit: bool = False
+    breaker_skips: int = 0
+    silent_attempts: int = field(default=0)
 
 
 class QueryDispatcher:
@@ -55,6 +67,12 @@ class QueryDispatcher:
         :class:`~repro.resolver.SimResolver`).
     metrics:
         Registry receiving ``service.*`` counters.
+    resilience:
+        Optional :class:`~repro.service.resilience.ResilienceConfig`
+        enabling per-upstream circuit breakers, retransmit/backoff budget
+        accounting, and graceful SERVFAIL on deadline exhaustion.  ``None``
+        preserves the exact PR 7 semantics (single attempt per server,
+        silence on an exhausted UDP chain).
     """
 
     def __init__(
@@ -65,6 +83,7 @@ class QueryDispatcher:
         network: Optional[AuthorityNetwork] = None,
         resolver=None,
         metrics: Optional[MetricsRegistry] = None,
+        resilience: Optional[ResilienceConfig] = None,
     ):
         topology.validate(server_sets.keys(), resolver_available=resolver is not None)
         self._topology = topology
@@ -73,11 +92,21 @@ class QueryDispatcher:
         self._network = network
         self._resolver = resolver
         self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._resilience = resilience
+        self.breakers: Optional[BreakerBoard] = (
+            BreakerBoard(resilience)
+            if resilience is not None and resilience.breakers
+            else None
+        )
 
     # -- the entry point ---------------------------------------------------
 
     def dispatch(
-        self, src: IPAddress, transport: Transport, query: Message
+        self,
+        src: IPAddress,
+        transport: Transport,
+        query: Message,
+        deadline: Optional[Deadline] = None,
     ) -> Optional[Message]:
         """Answer one query.
 
@@ -87,6 +116,13 @@ class QueryDispatcher:
         just like against a real rate-limited authority.  TCP callers never
         get silence: an exhausted chain degrades to SERVFAIL because a
         connected client expects *some* bytes back.
+
+        With a resilience config attached two graceful-degradation rules
+        override UDP silence: a query whose deadline budget runs out mid
+        chain answers SERVFAIL immediately (the client's stub would have
+        given up anyway — tell it now), and a chain exhausted because open
+        circuit breakers skipped every upstream answers SERVFAIL in O(1)
+        (the blackhole is known; making the client wait teaches nothing).
         """
         metrics = self._metrics
         transport_label = "tcp" if transport is Transport.TCP else "udp"
@@ -99,14 +135,35 @@ class QueryDispatcher:
             metrics.counter("service.refused", cause="no_question").inc()
             return self._local_response(query, RCode.FORMERR)
 
+        resilience = self._resilience
+        if (
+            deadline is None
+            and resilience is not None
+            and resilience.deadline_ms is not None
+        ):
+            deadline = Deadline(resilience.deadline_ms, self._clock)
+        state = _DispatchState(deadline=deadline)
+
         timestamp = self._clock.read()
         tier = self._topology.tier_for(src)
         response = self._walk_tier(
-            tier.name, src, transport, query, timestamp, hops=0
+            tier.name, src, transport, query, timestamp, hops=0, state=state
         )
         if response is not None:
             metrics.counter("service.answered", transport=transport_label).inc()
             return response
+        if state.deadline_hit:
+            metrics.counter(
+                "service.deadline.exhausted", transport=transport_label
+            ).inc()
+            return self._local_response(query, RCode.SERVFAIL)
+        if state.breaker_skips and not state.silent_attempts:
+            # Every viable upstream was short-circuited by an open breaker:
+            # fail fast and gracefully instead of replaying the blackout.
+            metrics.counter(
+                "service.breaker.short_circuit", transport=transport_label
+            ).inc()
+            return self._local_response(query, RCode.SERVFAIL)
         metrics.counter("service.unanswered", transport=transport_label).inc()
         if transport is Transport.TCP:
             return self._local_response(query, RCode.SERVFAIL)
@@ -122,6 +179,7 @@ class QueryDispatcher:
         query: Message,
         timestamp: float,
         hops: int,
+        state: _DispatchState,
     ) -> Optional[Message]:
         if hops >= MAX_TIER_HOPS:
             # validate() rejects static cycles; the depth bound also stops
@@ -131,8 +189,10 @@ class QueryDispatcher:
         tier = self._topology.tier(tier_name)
         qname = query.question.qname
         for upstream in tier.chain_for(qname):
+            if state.deadline_hit:
+                return None
             response = self._try_upstream(
-                upstream, src, transport, query, timestamp, hops
+                upstream, src, transport, query, timestamp, hops, state
             )
             if response is not None:
                 return response
@@ -146,6 +206,7 @@ class QueryDispatcher:
         query: Message,
         timestamp: float,
         hops: int,
+        state: _DispatchState,
     ) -> Optional[Message]:
         if spec in POLICY_SINKS:
             self._metrics.counter("service.policy_sink", sink=spec).inc()
@@ -155,44 +216,89 @@ class QueryDispatcher:
             return self._via_resolver(query, timestamp)
         if spec.startswith("tier:"):
             return self._walk_tier(
-                spec[5:], src, transport, query, timestamp, hops + 1
+                spec[5:], src, transport, query, timestamp, hops + 1, state
             )
         # Validated topology: anything else is auth:<key>[/<server_id>].
         key, _, server_id = spec[5:].partition("/")
         server_set: ServerSet = self._server_sets[key]
         servers = [server_set.by_id(server_id)] if server_id else server_set.servers
-        return self._via_authority(servers, src, transport, query, timestamp)
+        return self._via_authority(servers, src, transport, query, timestamp, state)
 
     def _via_authority(
-        self, servers, src, transport, query, timestamp
+        self, servers, src, transport, query, timestamp, state
     ) -> Optional[Message]:
         faults = self._network.faults if self._network is not None else None
         question = query.question
         qname_key = question.qname.to_text().encode() if faults is not None else b""
+        resilience = self._resilience
+        deadline = state.deadline
+        attempts_per_server = 1 + (
+            resilience.retransmits if resilience is not None else 0
+        )
+        metrics = self._metrics
         for server in servers:
-            if faults is not None and transport is Transport.UDP:
-                verdict = faults.udp_fate(
-                    server.server_id, src.family, timestamp, qname_key
-                )
-                if verdict.dropped:
-                    self._metrics.counter(
-                        "service.fault_drops", cause=verdict.cause or "loss"
-                    ).inc()
-                    continue
-            response = server.handle_query(
-                timestamp,
-                src,
-                transport,
-                query,
-                tcp_rtt_ms=LIVE_TCP_RTT_MS if transport is Transport.TCP else None,
+            breaker = (
+                self.breakers.get(server.server_id)
+                if self.breakers is not None
+                else None
             )
-            # None = RRL drop or offline server: silence from this server,
-            # try the next one in the NS set (real stub behaviour).
-            if response is not None:
-                return response
-            self._metrics.counter(
-                "service.upstream_silent", server=server.server_id
-            ).inc()
+            if breaker is not None and not breaker.allow(self._clock.read()):
+                state.breaker_skips += 1
+                self.breakers.skipped += 1
+                continue
+            for attempt in range(attempts_per_server):
+                if deadline is not None and deadline.exhausted():
+                    state.deadline_hit = True
+                    return None
+                # Retries happen later in virtual time: the charged waits
+                # shift the timestamp, so hash-derived loss verdicts re-roll
+                # exactly as the simulated resolver's retransmits do.
+                attempt_ts = timestamp + (
+                    deadline.virtual_offset_s() if deadline is not None else 0.0
+                )
+                if attempt > 0:
+                    metrics.counter("service.retry.retransmits").inc()
+                silent = False
+                if faults is not None and transport is Transport.UDP:
+                    verdict = faults.udp_fate(
+                        server.server_id, src.family, attempt_ts, qname_key
+                    )
+                    if verdict.dropped:
+                        metrics.counter(
+                            "service.fault_drops", cause=verdict.cause or "loss"
+                        ).inc()
+                        silent = True
+                if not silent:
+                    response = server.handle_query(
+                        attempt_ts,
+                        src,
+                        transport,
+                        query,
+                        tcp_rtt_ms=(
+                            LIVE_TCP_RTT_MS if transport is Transport.TCP else None
+                        ),
+                    )
+                    if response is not None:
+                        if breaker is not None:
+                            breaker.record(True, self._clock.read())
+                        return response
+                    # None = RRL drop or offline server: silence, same as a
+                    # lost packet from where the forwarder sits.
+                    metrics.counter(
+                        "service.upstream_silent", server=server.server_id
+                    ).inc()
+                state.silent_attempts += 1
+                if deadline is not None and resilience is not None:
+                    charge = resilience.attempt_timeout_ms
+                    if resilience.hedge and attempt > 0:
+                        # A hedged retry overlaps the previous wait, so only
+                        # half a fresh attempt timeout is actually spent.
+                        charge *= 0.5
+                        metrics.counter("service.retry.hedged").inc()
+                    deadline.charge_ms(charge + resilience.backoff_ms(attempt))
+            # All attempts on this server went unanswered.
+            if breaker is not None:
+                breaker.record(False, self._clock.read())
         return None
 
     def _via_resolver(self, query: Message, timestamp: float) -> Optional[Message]:

@@ -95,24 +95,61 @@ class UdpEndpoint(asyncio.DatagramProtocol):
         self._service.note_udp_error(exc)
 
 
+async def _read_exactly(reader, n: int, timeout: Optional[float]) -> bytes:
+    """``readexactly`` under an optional deadline (``None`` = unbounded)."""
+    if timeout is None:
+        return await reader.readexactly(n)
+    return await asyncio.wait_for(reader.readexactly(n), timeout=timeout)
+
+
 async def serve_tcp_connection(service, reader, writer, src) -> None:
     """Handle one TCP client: length-prefixed queries until EOF.
 
     Connections are long-lived (a client may pipeline many queries); a
     malformed frame poisons the stream, so after answering FORMERR the
     connection is closed.
+
+    Two slow-loris guards bound how long one socket can be pinned: a
+    client may idle at most ``tcp_idle_timeout_s`` between frames, and a
+    *started* frame (half a length prefix counts) must complete within
+    ``tcp_frame_timeout_s``.  Either timeout closes the connection and
+    counts ``service.tcp_idle_timeouts``.
     """
+    config = service.config
+    idle_s = getattr(config, "tcp_idle_timeout_s", None)
+    frame_s = getattr(config, "tcp_frame_timeout_s", None)
     try:
         while True:
             try:
-                prefix = await reader.readexactly(2)
+                # Waiting for a frame to *start* is idle time; once the
+                # first prefix byte lands the frame clock is running.
+                first = await _read_exactly(reader, 1, idle_s)
+            except asyncio.TimeoutError:
+                service.metrics.counter(
+                    "service.tcp_idle_timeouts", phase="idle"
+                ).inc()
+                return
             except (asyncio.IncompleteReadError, ConnectionResetError):
                 return
-            (length,) = struct.unpack("!H", prefix)
+            try:
+                rest = await _read_exactly(reader, 1, frame_s)
+            except asyncio.TimeoutError:
+                service.metrics.counter(
+                    "service.tcp_idle_timeouts", phase="frame"
+                ).inc()
+                return
+            except (asyncio.IncompleteReadError, ConnectionResetError):
+                return
+            (length,) = struct.unpack("!H", first + rest)
             if length == 0:
                 return
             try:
-                frame = await reader.readexactly(length)
+                frame = await _read_exactly(reader, length, frame_s)
+            except asyncio.TimeoutError:
+                service.metrics.counter(
+                    "service.tcp_idle_timeouts", phase="frame"
+                ).inc()
+                return
             except (asyncio.IncompleteReadError, ConnectionResetError):
                 return
             wire = service.handle_stream_query(frame, src)
@@ -149,7 +186,8 @@ async def serve_metrics_connection(service, reader, writer) -> None:
             body = service.render_metrics().encode()
             status, ctype = "200 OK", PROMETHEUS_CONTENT_TYPE
         elif path == "/healthz":
-            body, status, ctype = b"ok\n", "200 OK", "text/plain"
+            status, body = service.render_healthz()
+            ctype = "text/plain"
         else:
             body, status, ctype = b"not found\n", "404 Not Found", "text/plain"
         writer.write(

@@ -43,6 +43,10 @@ class LoadGenConfig:
     queries: int = 1000
     concurrency: int = 32            #: max in-flight UDP queries
     timeout_s: float = 2.0           #: per-query answer deadline
+    #: Open-loop offered rate (q/s).  ``None`` = closed loop bounded by
+    #: ``concurrency``; a rate keeps offering load even when the server
+    #: sheds or stalls — what a soak needs to measure overload behaviour.
+    rate_qps: Optional[float] = None
     tcp_fraction: float = 0.0        #: share of queries sent over TCP
     tcp_connections: int = 2         #: persistent TCP conns to spread over
     streams: int = 8                 #: distinct workload client streams
@@ -57,6 +61,8 @@ class LoadReport:
     sent: int = 0
     answered: int = 0
     timeouts: int = 0
+    late: int = 0                    #: answers that arrived after their deadline
+    aborted: int = 0                 #: TCP queries never sent (connect failed)
     decode_errors: int = 0
     udp_sent: int = 0
     tcp_sent: int = 0
@@ -78,6 +84,8 @@ class LoadReport:
             "answered": self.answered,
             "answered_fraction": self.answered_fraction,
             "timeouts": self.timeouts,
+            "late": self.late,
+            "aborted": self.aborted,
             "decode_errors": self.decode_errors,
             "udp_sent": self.udp_sent,
             "tcp_sent": self.tcp_sent,
@@ -140,10 +148,19 @@ def build_query_stream(config: LoadGenConfig) -> List[Tuple[Name, RRType]]:
 
 
 class _UdpClient(asyncio.DatagramProtocol):
-    """One UDP socket multiplexing queries by message id."""
+    """One UDP socket multiplexing queries by message id.
+
+    A timed-out query *retires* its message id into ``lost`` instead of
+    freeing it: if the answer eventually straggles in it is counted as
+    ``late`` (and the id becomes reusable) rather than being mis-matched
+    to a newer query that happened to reuse the slot — which would credit
+    the new query with the old query's answer and skew the latency report.
+    """
 
     def __init__(self):
         self.pending: Dict[int, asyncio.Future] = {}
+        self.lost: set = set()
+        self.late = 0
         self.transport = None
 
     def connection_made(self, transport) -> None:
@@ -153,6 +170,10 @@ class _UdpClient(asyncio.DatagramProtocol):
         if len(data) < 2:
             return
         msg_id = (data[0] << 8) | data[1]
+        if msg_id in self.lost:
+            self.lost.discard(msg_id)
+            self.late += 1
+            return
         future = self.pending.pop(msg_id, None)
         if future is not None and not future.done():
             future.set_result(data)
@@ -161,9 +182,20 @@ class _UdpClient(asyncio.DatagramProtocol):
         pass
 
 
-async def run_loadgen(config: LoadGenConfig) -> LoadReport:
-    """Fire one burst and gather the report (call from an event loop)."""
-    queries = build_query_stream(config)
+async def run_loadgen(
+    config: LoadGenConfig,
+    queries: Optional[Sequence[Tuple[Name, RRType]]] = None,
+) -> LoadReport:
+    """Fire one burst and gather the report (call from an event loop).
+
+    Pass a prebuilt ``queries`` stream to skip the workload build — the
+    soak harness does this so zone/workload construction time never eats
+    into the fault plan's choreographed windows.
+    """
+    if queries is None:
+        queries = build_query_stream(config)
+    else:
+        queries = list(queries)
     report = LoadReport()
     latencies: List[float] = []
 
@@ -197,8 +229,10 @@ async def run_loadgen(config: LoadGenConfig) -> LoadReport:
             )
     if tasks:
         await asyncio.gather(*tasks)
-    if protocol is not None and protocol.transport is not None:
-        protocol.transport.close()
+    if protocol is not None:
+        report.late += protocol.late
+        if protocol.transport is not None:
+            protocol.transport.close()
 
     report.duration_s = time.perf_counter() - started
     report.qps = report.sent / report.duration_s if report.duration_s > 0 else 0.0
@@ -224,37 +258,63 @@ async def _drive_udp(
     latencies: List[float],
 ) -> None:
     semaphore = asyncio.Semaphore(max(1, config.concurrency))
+    loop = asyncio.get_running_loop()
+    started = loop.time()
+    interval = 1.0 / config.rate_qps if config.rate_qps else None
     next_id = 0
 
-    async def one(qname: Name, qtype: RRType) -> None:
+    async def send_one(qname: Name, qtype: RRType) -> None:
         nonlocal next_id
-        async with semaphore:
-            # Allocate a free message id (65k ids vs bounded concurrency:
-            # the scan terminates immediately in practice).
+        # Allocate a free message id: busy (pending) and retired (lost)
+        # slots are both skipped — 65k ids vs bounded concurrency, so the
+        # scan terminates immediately in practice.
+        msg_id = next_id % 65536
+        next_id += 1
+        scanned = 0
+        while (
+            msg_id in protocol.pending or msg_id in protocol.lost
+        ) and scanned < 65536:
             msg_id = next_id % 65536
             next_id += 1
-            while msg_id in protocol.pending:
-                msg_id = next_id % 65536
-                next_id += 1
-            query = Message.make_query(
-                qname, qtype, msg_id=msg_id,
-                edns=EdnsRecord(udp_payload_size=_LOADGEN_BUFSIZE),
-            )
-            future = asyncio.get_running_loop().create_future()
-            protocol.pending[msg_id] = future
-            sent_at = time.perf_counter()
-            report.sent += 1
-            report.udp_sent += 1
-            protocol.transport.sendto(query.to_wire())
-            try:
-                wire = await asyncio.wait_for(future, timeout=config.timeout_s)
-            except asyncio.TimeoutError:
-                protocol.pending.pop(msg_id, None)
-                report.timeouts += 1
-                return
-            _account_response(wire, sent_at, report, latencies)
+            scanned += 1
+        if msg_id in protocol.lost:
+            # Pathological: the whole id space is retired.  Reclaim the
+            # slot (its straggler, if any, will simply go uncounted).
+            protocol.lost.discard(msg_id)
+        query = Message.make_query(
+            qname, qtype, msg_id=msg_id,
+            edns=EdnsRecord(udp_payload_size=_LOADGEN_BUFSIZE),
+        )
+        future = loop.create_future()
+        protocol.pending[msg_id] = future
+        sent_at = time.perf_counter()
+        report.sent += 1
+        report.udp_sent += 1
+        protocol.transport.sendto(query.to_wire())
+        try:
+            wire = await asyncio.wait_for(future, timeout=config.timeout_s)
+        except asyncio.TimeoutError:
+            protocol.pending.pop(msg_id, None)
+            protocol.lost.add(msg_id)
+            report.timeouts += 1
+            return
+        _account_response(wire, sent_at, report, latencies)
 
-    await asyncio.gather(*(one(qname, qtype) for qname, qtype in queries))
+    async def one(index: int, qname: Name, qtype: RRType) -> None:
+        if interval is not None:
+            # Open loop: send at the scheduled instant regardless of how
+            # the server is coping — overload is the point of the soak.
+            delay = started + index * interval - loop.time()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            await send_one(qname, qtype)
+        else:
+            async with semaphore:
+                await send_one(qname, qtype)
+
+    await asyncio.gather(
+        *(one(i, qname, qtype) for i, (qname, qtype) in enumerate(queries))
+    )
 
 
 async def _drive_tcp(
@@ -266,37 +326,70 @@ async def _drive_tcp(
 ) -> None:
     if not queries:
         return
-    reader, writer = await asyncio.open_connection(config.host, port)
+    loop = asyncio.get_running_loop()
+    reader: Optional[asyncio.StreamReader] = None
+    writer: Optional[asyncio.StreamWriter] = None
+
+    async def close_writer() -> None:
+        nonlocal reader, writer
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
+                pass
+        reader = writer = None
+
     try:
         for i, (qname, qtype) in enumerate(queries):
+            if writer is None or writer.is_closing():
+                try:
+                    reader, writer = await asyncio.open_connection(
+                        config.host, port
+                    )
+                except OSError:
+                    # Server gone: the rest of this slice was never sent.
+                    report.aborted += len(queries) - i
+                    return
             query = Message.make_query(
                 qname, qtype, msg_id=i % 65536,
                 edns=EdnsRecord(udp_payload_size=_LOADGEN_BUFSIZE),
             )
             wire = query.to_wire()
+            # One deadline covers drain + prefix + payload: a server
+            # dribbling bytes cannot stretch a query to 2-3x timeout_s.
+            deadline = loop.time() + config.timeout_s
             sent_at = time.perf_counter()
             report.sent += 1
             report.tcp_sent += 1
             writer.write(len(wire).to_bytes(2, "big") + wire)
-            await writer.drain()
             try:
+                await writer.drain()
                 prefix = await asyncio.wait_for(
-                    reader.readexactly(2), timeout=config.timeout_s
+                    reader.readexactly(2),
+                    timeout=max(0.0, deadline - loop.time()),
                 )
                 length = int.from_bytes(prefix, "big")
                 payload = await asyncio.wait_for(
-                    reader.readexactly(length), timeout=config.timeout_s
+                    reader.readexactly(length),
+                    timeout=max(0.0, deadline - loop.time()),
                 )
-            except (asyncio.TimeoutError, asyncio.IncompleteReadError):
+            except (
+                asyncio.TimeoutError,
+                asyncio.IncompleteReadError,
+                ConnectionResetError,
+                BrokenPipeError,
+                OSError,
+            ):
+                # This query is lost; the stream position is ambiguous, so
+                # reconnect for the next one instead of abandoning the
+                # whole slice.
                 report.timeouts += 1
-                return
+                await close_writer()
+                continue
             _account_response(payload, sent_at, report, latencies)
     finally:
-        writer.close()
-        try:
-            await writer.wait_closed()
-        except (ConnectionResetError, BrokenPipeError):  # pragma: no cover
-            pass
+        await close_writer()
 
 
 def _account_response(

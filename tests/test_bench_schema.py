@@ -29,6 +29,20 @@ SESSION_LEVEL = {"BENCH_telemetry.json"}
 #: sessions trend throughput and tail latency from these.
 SERVE_KEYS = ("qps", "p50_ms", "p99_ms", "answered_fraction")
 
+#: Extra contract keys for the chaos-soak benchmark: CI and later
+#: sessions trend graceful-degradation behaviour from these.
+RESILIENCE_KEYS = (
+    "offered_qps",
+    "admission_qps",
+    "deadline_ms",
+    "shed_ratio",
+    "answered_or_graceful",
+    "p50_ms",
+    "p99_ms",
+    "breaker_opened",
+    "breaker_closed",
+)
+
 
 def bench_paths():
     return sorted(glob.glob(os.path.join(BENCH_DIR, "BENCH_*.json")))
@@ -37,7 +51,8 @@ def bench_paths():
 def test_benchmark_artifacts_exist():
     names = {os.path.basename(path) for path in bench_paths()}
     assert {"BENCH_hotpath.json", "BENCH_parallel.json",
-            "BENCH_streaming.json", "BENCH_serve.json"} <= names
+            "BENCH_streaming.json", "BENCH_serve.json",
+            "BENCH_resilience.json"} <= names
 
 
 @pytest.mark.parametrize(
@@ -68,4 +83,21 @@ def test_benchmark_artifact_schema(path):
             )
         assert 0.0 <= data["answered_fraction"] <= 1.0, (
             f"{path}: answered_fraction must be a fraction"
+        )
+
+    if os.path.basename(path) == "BENCH_resilience.json":
+        for key in RESILIENCE_KEYS:
+            value = data.get(key)
+            assert isinstance(value, (int, float)), (
+                f"{path}: {key} must be numeric"
+            )
+        assert 0.0 <= data["shed_ratio"] <= 1.0, (
+            f"{path}: shed_ratio must be a fraction"
+        )
+        assert 0.0 <= data["answered_or_graceful"] <= 1.0, (
+            f"{path}: answered_or_graceful must be a fraction"
+        )
+        slos = data.get("slos")
+        assert isinstance(slos, dict) and slos, (
+            f"{path}: slos must record the per-SLO verdicts"
         )

@@ -309,6 +309,45 @@ class TestServeCLI:
         assert "below" in captured.err
 
 
+class TestSoakCLI:
+    @pytest.mark.slow
+    def test_soak_passes_and_writes_json(self, capsys, tmp_path):
+        import json
+
+        report_path = tmp_path / "soak.json"
+        rc = main(
+            ["soak", "nl-w2020", "--duration", "5",
+             "--offered-qps", "120", "--admission-qps", "60",
+             "--json", str(report_path)]
+        )
+        captured = capsys.readouterr()
+        assert rc == 0
+        assert "soak PASS" in captured.out
+        report = json.loads(report_path.read_text())
+        assert report["passed"] is True
+        assert set(report["slos"]) == {
+            "answered_or_graceful", "p99_under_deadline", "breaker_cycle"
+        }
+        assert report["shed"] > 0
+        assert 0.0 < report["shed_ratio"] < 1.0
+        assert report["breaker_opened"] > 0
+
+    def test_soak_rejects_bad_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["soak", "nl-w2020", "--shed-policy", "teapot"])
+
+    def test_serve_resilience_flags_parse(self, capsys):
+        # Flag plumbing only: a bad combination must error out before any
+        # socket work, proving the flags reach ResilienceConfig validation.
+        rc = main(
+            ["serve", "nl-w2020", "--udp-port", "0", "--duration", "0.1",
+             "--admission-qps", "50", "--shed-policy", "drop",
+             "--deadline-ms", "800", "--no-breakers"]
+        )
+        capsys.readouterr()
+        assert rc == 0
+
+
 class TestRenderMarkdown:
     def test_render_contains_reports_and_meta(self):
         report = Report("figure1a", "Test report")

@@ -53,11 +53,23 @@ class TestWallClock:
         assert second == 5.0    # clamped, not 1.0
         assert third == 6.0
 
+    def test_clamp_events_are_counted(self, monkeypatch):
+        ticks = iter([100.0, 105.0, 101.0, 102.0, 106.0])
+        monkeypatch.setattr(clock_module.time, "monotonic", lambda: next(ticks))
+        clock = WallClock(epoch_anchor=0.0)
+        assert clock.clamps == 0
+        clock.read()            # 5.0
+        clock.read()            # clamped (backend says 1.0)
+        clock.read()            # clamped again (2.0 < 5.0)
+        clock.read()            # 6.0 — moving forward again
+        assert clock.clamps == 2
+
     def test_real_backends(self):
         clock = WallClock()
         a = clock.read()
         b = clock.read()
         assert b >= a > 1_500_000_000.0  # epoch seconds, after 2017
+        assert clock.clamps == 0
 
 
 class TestSimBitIdentity:

@@ -274,6 +274,30 @@ class TestShardExecutorAccounting:
         assert len(results) == 2
         assert results[0].rows_appended > 0
 
+    def test_pool_death_falls_back_serially(self):
+        # A worker dying outright (os._exit) breaks the *whole* pool:
+        # BrokenProcessPool must skip the pool retry round and recover the
+        # dead shard (and any collateral losses) via the serial fallback,
+        # with `runtime.shard_fallbacks` accounting for every recovery.
+        metrics = MetricsRegistry()
+        executor = ShardExecutor(
+            RuntimeConfig(workers=2, retries=1, inject_faults={0: "exit"}),
+            metrics,
+        )
+        executor.submit(_shard_tasks())
+        results, report = executor.collect()
+        assert report.failures == 0
+        assert report.retries == 0  # broken pool: no retry round
+        assert report.fallbacks >= 1
+        assert report.outcomes[0].fallback
+        assert report.outcomes[0].attempts == 2  # pool attempt + fallback
+        assert report.outcomes[0].error is None
+        assert [r.shard_index for r in results] == [0, 1]
+        assert all(r.rows_appended > 0 for r in results)
+        snap = metrics.snapshot()
+        assert snap.counters["runtime.shard_fallbacks"] == report.fallbacks
+        assert "runtime.shard_failures" not in snap.counters
+
     def test_permanent_failure_is_reported_not_raised(self):
         # An empty server set fails environment build everywhere — pool,
         # retry, and serial fallback — so the shard must surface as a

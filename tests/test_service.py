@@ -533,7 +533,7 @@ class TestLiveService:
         health, missing = asyncio.run(
             _with_service(_serve_config(metrics_port=0), scenario)
         )
-        assert health.startswith("HTTP/1.0 200") and "ok" in health
+        assert health.startswith("HTTP/1.0 200") and "state: ready" in health
         assert missing.startswith("HTTP/1.0 404")
 
     def test_graceful_shutdown_final_snapshot(self):
