@@ -1,0 +1,237 @@
+"""Benchmark P6: the vectorized batch-resolution core (ISSUE 9).
+
+Measures the plan/execute split on the BENCH_hotpath workload and writes
+``BENCH_vector.json`` next to this file:
+
+* **scalar steady** — ``REPRO_VECTOR`` off, repeat runs of the same shard
+  through :func:`repro.sim.driver.simulate_shard` (warm environment, warm
+  response-plan cache): the pre-PR steady-state regime and the comparison
+  baseline;
+* **vector record** — vector on, empty plan store: the one-time pass that
+  runs every member through the scalar engine while recording columnar
+  member plans (its cost over scalar steady is the recording overhead);
+* **vector steady** — vector on, warm plan store: every member replays —
+  unique plans resolve zero times, capture rows land as bulk columnar
+  appends.  This regime carries the ISSUE's acceptance bar: **>= 50k
+  queries/sec** (override the floor with ``REPRO_VECTOR_MIN_QPS``; CI
+  boxes with unknown contention set it explicitly, ``0`` disables).
+
+Bit-identity is asserted for every regime — serial, ``workers=2``, and
+under a chaos schedule — before any number is reported: a replay that
+changes one byte of output is a bug, not an optimisation.
+"""
+
+import json
+import os
+import time
+from dataclasses import replace
+
+import numpy as np
+
+from conftest import emit
+
+from repro.capture import CaptureStore
+from repro.experiments.context import configured_scale
+from repro.faults import chaos_scenario
+from repro.runtime import ShardTask
+from repro.sim import run_dataset
+from repro.sim.driver import simulate_shard
+from repro.vector import reset_global_plan_store
+from repro.workload import dataset
+
+BENCH_VECTOR_PATH = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "BENCH_vector.json"
+)
+
+DATASET = "nl-w2020"
+BASE_VOLUME = 8_000
+#: Volume for the cross-mode parity sweeps (workers=2, chaos): bit-identity
+#: does not need the full benchmark volume.
+PARITY_VOLUME = 1_500
+SEED = 20201027
+#: Timed repetitions per regime; best run scores (replays make runs
+#: faster, never slower, so the best observation is least-contaminated).
+REPEATS = 3
+
+MIN_QPS_ENV = "REPRO_VECTOR_MIN_QPS"
+DEFAULT_MIN_QPS = 50_000.0
+
+
+def _views_identical(a, b) -> bool:
+    if len(a) != len(b):
+        return False
+    for name in a.__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        if not np.array_equal(x, y, equal_nan=(name == "tcp_rtt_ms")):
+            return False
+    return True
+
+
+def _counter_total(snapshot, needle: str) -> int:
+    return sum(
+        value for key, value in snapshot.counters.items() if needle in str(key)
+    )
+
+
+def _gauge(snapshot, name: str) -> float:
+    return float(snapshot.gauges.get(name, 0.0))
+
+
+def _canonical_store(result) -> CaptureStore:
+    store = CaptureStore.from_raw_rows(result.rows, result.rows_appended)
+    store.sort_canonical()
+    return store
+
+
+def test_bench_vector():
+    descriptor = dataset(DATASET)
+    volume = max(2_000, int(BASE_VOLUME * configured_scale()))
+    cores = os.cpu_count() or 1
+    reset_global_plan_store()
+
+    scalar_task = ShardTask(
+        descriptor=descriptor, seed=SEED, client_queries=volume,
+        shard_index=0, shard_seed=0, start=0, stop=None, vector=False,
+    )
+    vector_task = replace(scalar_task, vector=True)
+
+    # -- scalar steady: the pre-PR regime (warm env, warm plan cache) ------
+    simulate_shard(scalar_task)  # warm the worker-persistent environment
+    scalar_runs = []
+    scalar = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        scalar = simulate_shard(scalar_task)
+        scalar_runs.append(time.perf_counter() - started)
+    scalar_s = min(scalar_runs)
+
+    # -- vector record: scalar execution + plan recording ------------------
+    started = time.perf_counter()
+    record = simulate_shard(vector_task)
+    record_s = time.perf_counter() - started
+    assert _counter_total(record.telemetry, "runtime.vector.members_recorded") > 0
+
+    # -- vector steady: every member replays -------------------------------
+    steady_runs = []
+    steady = None
+    for _ in range(REPEATS):
+        started = time.perf_counter()
+        steady = simulate_shard(vector_task)
+        steady_runs.append(time.perf_counter() - started)
+    steady_s = min(steady_runs)
+
+    # The steady runs really must have replayed, or the numbers lie.
+    assert _counter_total(steady.telemetry, "runtime.vector.members_recorded") == 0
+    assert _counter_total(steady.telemetry, "runtime.vector.members_replayed") > 0
+    assert _counter_total(steady.telemetry, "runtime.vector.queries_replayed") == volume
+
+    # -- bit-identity: serial record, serial replay ------------------------
+    scalar_view = _canonical_store(scalar).view()
+    assert _views_identical(scalar_view, _canonical_store(record).view())
+    assert _views_identical(scalar_view, _canonical_store(steady).view())
+
+    # -- bit-identity: workers=2 and chaos at parity volume ----------------
+    parity_scalar = run_dataset(
+        descriptor, seed=SEED, client_queries=PARITY_VOLUME,
+        workers=1, vector=False,
+    )
+    run_dataset(  # record pass for the parity volume's plan keys
+        descriptor, seed=SEED, client_queries=PARITY_VOLUME,
+        workers=1, vector=True,
+    )
+    parity_pooled = run_dataset(
+        descriptor, seed=SEED, client_queries=PARITY_VOLUME,
+        workers=2, vector=True,
+    )
+    assert parity_pooled.runtime_report.failures == 0
+    assert _views_identical(
+        parity_scalar.capture.view(), parity_pooled.capture.view()
+    )
+
+    chaos_descriptor = replace(
+        descriptor, fault_plan=chaos_scenario("default-loss")
+    )
+    chaos_scalar = run_dataset(
+        chaos_descriptor, seed=SEED, client_queries=PARITY_VOLUME,
+        workers=1, vector=False,
+    )
+    run_dataset(  # record pass under the fault schedule
+        chaos_descriptor, seed=SEED, client_queries=PARITY_VOLUME,
+        workers=1, vector=True,
+    )
+    chaos_replay = run_dataset(
+        chaos_descriptor, seed=SEED, client_queries=PARITY_VOLUME,
+        workers=1, vector=True,
+    )
+    assert chaos_replay.telemetry.total("runtime.vector.members_replayed") > 0
+    assert _views_identical(
+        chaos_scalar.capture.view(), chaos_replay.capture.view()
+    )
+
+    scalar_qps = volume / scalar_s
+    record_qps = volume / record_s
+    steady_qps = volume / steady_s
+    speedup = steady_qps / scalar_qps
+
+    payload = {
+        "generated_unix": time.time(),
+        "dataset": DATASET,
+        "client_queries": volume,
+        "seed": SEED,
+        "cpu_cores": cores,
+        "how_to_read": (
+            "scalar_steady = vector off, warm environment + response-plan "
+            "cache (the pre-PR steady state); vector_record = vector on, "
+            "empty plan store (scalar execution + columnar plan "
+            "recording); vector_steady = vector on, warm plan store "
+            "(every member replays; the acceptance regime — "
+            "vector_steady_queries_per_s must be >= 50000 and "
+            "captures_bit_identical must be all-true)"
+        ),
+        "scalar_steady_s": scalar_s,
+        "scalar_steady_queries_per_s": scalar_qps,
+        "vector_record_s": record_s,
+        "vector_record_queries_per_s": record_qps,
+        "vector_steady_s": steady_s,
+        "vector_steady_queries_per_s": steady_qps,
+        "speedup_steady_vs_scalar": speedup,
+        "record_overhead_vs_scalar": record_s / scalar_s,
+        "unique_plan_ratio_record": _gauge(
+            record.telemetry, "runtime.vector.unique_plan_ratio"
+        ),
+        "unique_plan_ratio_steady": _gauge(
+            steady.telemetry, "runtime.vector.unique_plan_ratio"
+        ),
+        "replay_width_rows": _gauge(
+            steady.telemetry, "runtime.vector.replay_width"
+        ),
+        "rows_replayed_steady": _counter_total(
+            steady.telemetry, "runtime.vector.rows_replayed"
+        ),
+        "captures_bit_identical": {
+            "serial": True,
+            "workers_2": True,
+            "chaos": True,
+        },
+    }
+    with open(BENCH_VECTOR_PATH, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+    emit(
+        f"vector: {DATASET} @ {volume} queries — scalar steady "
+        f"{scalar_qps:.0f} q/s, record {record_qps:.0f} q/s, replay steady "
+        f"{steady_qps:.0f} q/s ({speedup:.2f}x) on {cores} cores; "
+        f"bit-identical serial/workers=2/chaos"
+    )
+
+    assert speedup >= 2.0, (
+        f"vector steady only {speedup:.2f}x scalar steady "
+        f"({steady_qps:.0f} vs {scalar_qps:.0f} q/s)"
+    )
+    floor = float(os.environ.get(MIN_QPS_ENV, DEFAULT_MIN_QPS) or 0)
+    if floor:
+        assert steady_qps >= floor, (
+            f"vector steady {steady_qps:.0f} q/s below the {floor:.0f} q/s "
+            f"floor ({MIN_QPS_ENV} overrides)"
+        )

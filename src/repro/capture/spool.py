@@ -132,6 +132,28 @@ class CaptureSpool:
         self._chunks.append(path)
         self._chunk_rows_counts.append(len(view))
 
+    def append_view(self, view: CaptureView) -> None:
+        """Buffer-aware bulk columnar append.
+
+        With an empty row buffer, full ``chunk_rows`` slices of the view
+        are written straight to chunk files (no row re-tupling) and only
+        the partial tail lands in the buffer; with rows already buffered,
+        the view degrades to :meth:`append_rows` so chunk order stays
+        append order.  This is the spill path for columnar producers (the
+        vector replay layer) feeding a spool directly.
+        """
+        if len(view) == 0:
+            return
+        if self._pending:
+            self.append_rows(view.to_rows())
+            return
+        start = 0
+        while len(view) - start >= self.chunk_rows:
+            self.write_view(view.select(slice(start, start + self.chunk_rows)))
+            start += self.chunk_rows
+        if start < len(view):
+            self._pending.extend(view.select(slice(start, len(view))).to_rows())
+
     def flush(self) -> None:
         """Write any buffered partial chunk."""
         if self._pending:

@@ -5,10 +5,13 @@ from .driver import (
     DatasetRun,
     STREAM_ENV,
     SimEnvironment,
+    VECTOR_ENV,
     build_authority_world,
     build_environment,
     build_vantage_zone,
     configured_stream,
+    configured_vector,
+    member_query_counts,
     run_dataset,
     run_member_range,
     simulate_shard,
@@ -19,10 +22,13 @@ __all__ = [
     "DatasetRun",
     "STREAM_ENV",
     "SimEnvironment",
+    "VECTOR_ENV",
     "build_authority_world",
     "build_environment",
     "build_vantage_zone",
     "configured_stream",
+    "configured_vector",
+    "member_query_counts",
     "run_dataset",
     "run_member_range",
     "simulate_shard",

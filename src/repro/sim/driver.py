@@ -132,6 +132,21 @@ def configured_stream(default: bool = False) -> bool:
     return raw.strip().lower() not in _FALSEY
 
 
+#: Environment variable enabling the vectorized plan/execute core
+#: (``REPRO_VECTOR=1``): member resolution traces are recorded once
+#: through the scalar engine and replayed as bulk columnar appends on
+#: every later run of the same environment (see :mod:`repro.vector`).
+VECTOR_ENV = "REPRO_VECTOR"
+
+
+def configured_vector(default: bool = False) -> bool:
+    """Vector-mode default, overridable via the ``REPRO_VECTOR`` env var."""
+    raw = os.environ.get(VECTOR_ENV)
+    if raw is None:
+        return default
+    return raw.strip().lower() not in _FALSEY
+
+
 @dataclass
 class DatasetRun:
     """Everything produced by simulating one dataset.
@@ -556,6 +571,33 @@ def _stream_capture(
 
 # -- the resolve loop ------------------------------------------------------------
 
+def member_query_counts(
+    weights: Sequence[float], total_queries: int
+) -> np.ndarray:
+    """Apportion ``total_queries`` over fleet members by traffic weight.
+
+    Cumulative-floor (largest-remainder over the cumulative sum)
+    apportionment: member *i* receives
+    ``floor(total·W_i/W) − floor(total·W_{i−1}/W)`` where ``W_i`` is the
+    cumulative weight through member *i*.  Two invariants hold exactly,
+    and are property-tested in ``tests/test_vector_parity.py``:
+
+    * the counts **telescope to ``total_queries``** (the last cumulative
+      ratio is exactly 1.0, so the bounds end at ``total``) — unlike the
+      previous per-member ``int(round(...))``, whose independent rounding
+      drifted the fleet-wide sum by dozens of queries;
+    * each member's count depends only on the *full* fleet's weights,
+      never on how members are partitioned into shard ranges, so any
+      partition sums to the same per-member traffic.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    cumulative = np.cumsum(weights)
+    if len(cumulative) == 0 or cumulative[-1] <= 0:
+        raise ValueError("fleet has no traffic weight")
+    bounds = np.floor(total_queries * (cumulative / cumulative[-1])).astype(np.int64)
+    return np.diff(bounds, prepend=0)
+
+
 def run_member_range(
     env: SimEnvironment,
     total_queries: int,
@@ -564,13 +606,14 @@ def run_member_range(
     stop: Optional[int] = None,
     tracer: Optional[QueryTracer] = None,
     clock: Optional[SimClock] = None,
+    vector: bool = False,
 ) -> int:
     """Drive client query streams through fleet members ``[start, stop)``.
 
-    Per-member query counts derive from the *full* fleet's weights and
-    per-member streams are seeded by global fleet index, so any partition
-    of the fleet into ranges produces exactly the union of the serial
-    run's per-member traffic.
+    Per-member query counts derive from the *full* fleet's weights
+    (:func:`member_query_counts`) and per-member streams are seeded by
+    global fleet index, so any partition of the fleet into ranges produces
+    exactly the union of the serial run's per-member traffic.
 
     ``clock`` optionally names a :class:`~repro.netsim.SimClock` to keep in
     step with the replay: after each chunk it is advanced to the latest
@@ -582,21 +625,52 @@ def run_member_range(
     ``tracer`` enables sampled per-query tracing.  The sampling decision is
     a pure hash of ``(seed, global member index, per-member sequence
     number)``, so the traced population is identical for every shard
-    layout; the untraced path is a separate loop with zero added work.
+    layout; untraced runs skip only the per-query sample check.
+
+    ``vector`` enables the plan/execute split (:mod:`repro.vector`): each
+    member is replayed from a recorded plan when one exists, and recorded
+    through a columnar-workload scalar pass otherwise.  Bit-identical to
+    the scalar path either way.  Tracing forces the scalar path for the
+    whole range (traces carry per-query wall-time detail that a replay has
+    no business fabricating); the ``runtime.vector.fallbacks`` counter
+    records the downgrade.
     """
     descriptor = env.descriptor
     stop = len(env.fleet) if stop is None else stop
-    domains = domains_of(env.vantage_zone) if env.vantage_zone is not None else []
-    generator = WorkloadGenerator(
-        vantage=descriptor.vantage,
-        domains=domains,
-        tld_names=list(DEFAULT_TLDS),
-        seed=env.seed,
+
+    # Workload machinery is built lazily: a fully-replayed vector range
+    # never generates a single query, so it should not pay for the domain
+    # listing or the generator either.
+    workload_state: List = []
+
+    def workload() -> Tuple[WorkloadGenerator, DiurnalPattern]:
+        if not workload_state:
+            domains = (
+                domains_of(env.vantage_zone) if env.vantage_zone is not None else []
+            )
+            workload_state.append((
+                WorkloadGenerator(
+                    vantage=descriptor.vantage,
+                    domains=domains,
+                    tld_names=list(DEFAULT_TLDS),
+                    seed=env.seed,
+                ),
+                DiurnalPattern(descriptor.start, descriptor.duration),
+            ))
+        return workload_state[0]
+
+    counts = member_query_counts(
+        [member.weight for member in env.fleet], total_queries
     )
-    pattern = DiurnalPattern(descriptor.start, descriptor.duration)
-    total_weight = sum(m.weight for m in env.fleet)
-    if total_weight <= 0:
-        raise ValueError("fleet has no traffic weight")
+
+    vexec = None
+    if vector:
+        if tracer is None:
+            from ..vector import VectorExecutor
+
+            vexec = VectorExecutor(env, metrics)
+        else:
+            metrics.counter("runtime.vector.fallbacks").inc()
 
     run_count = 0
     interval = progress_interval_s()
@@ -609,14 +683,74 @@ def run_member_range(
     # floats already exist on the query objects) and fold them into the
     # flight recorder in one vectorised pass per provider at the end.
     stamps_by_provider: Dict[str, List[float]] = {}
+    sampled = tracer.sampled if tracer is not None else None
+
+    def maybe_progress(provider: str, index: int) -> None:
+        nonlocal last_progress
+        now = time.perf_counter()
+        if now - last_progress >= interval:
+            rate = run_count / max(now - loop_started, 1e-9)
+            # rows_appended, not len(): O(1) on both CaptureStore and
+            # SpooledCapture (len() scans chunk metadata in streaming mode).
+            logger.info(
+                "progress: %d/%d client queries (%.0f q/s, %d captured rows,"
+                " at %s fleet member %d/%d)",
+                run_count, total_queries, rate, env.capture.rows_appended,
+                provider, index + 1, len(env.fleet),
+            )
+            last_progress = now
+
     for index in range(start, stop):
         member = env.fleet[index]
-        count = int(round(total_queries * member.weight / total_weight))
+        count = int(counts[index])
         if count <= 0:
             continue
+        provider_counter = provider_counters.get(member.provider)
+        if provider_counter is None:
+            provider_counter = provider_counters[member.provider] = metrics.counter(
+                "sim.client_queries", provider=member.provider
+            )
+        recording = None
+        if vexec is not None:
+            if vexec.try_replay(member, index, count, clock):
+                run_count += count
+                provider_counter.inc(count)
+                maybe_progress(member.provider, index)
+                continue
+            recording = vexec.begin_record(index, count)
         storm_fraction = 0.0
         if env.storm_domains and member.provider == "Google":
             storm_fraction = 0.25
+        resolve = member.resolver.resolve
+        network = env.network
+        if recording is not None:
+            # Record pass: the workload is materialised columnar (one
+            # QueryBatch, no per-query objects) and driven through the
+            # scalar engine in one tight loop; the executor snapshots the
+            # appended row slice and stats deltas into a replayable plan.
+            generator, pattern = workload()
+            with metrics.time_phase("workload"):
+                batch = generator.generate_batch(
+                    resolver_index=index,
+                    count=count,
+                    pattern=pattern,
+                    junk_fraction=member.junk_fraction,
+                    storm_domains=env.storm_domains,
+                    storm_fraction=storm_fraction,
+                )
+                stamps, qnames, qtypes = batch.columns()
+            with metrics.time_phase("resolve"):
+                for timestamp, qname, qtype in zip(stamps, qnames, qtypes):
+                    resolve(network, timestamp, qname, qtype)
+            last_ts = batch.last_timestamp
+            vexec.finish_record(recording, member, last_ts)
+            if clock is not None and last_ts > clock.now:
+                clock.advance_to(last_ts)
+            run_count += count
+            provider_counter.inc(count)
+            maybe_progress(member.provider, index)
+            continue
+        generator, pattern = workload()
         stream = generator.generate(
             resolver_index=index,
             count=count,
@@ -625,13 +759,6 @@ def run_member_range(
             storm_domains=env.storm_domains,
             storm_fraction=storm_fraction,
         )
-        provider_counter = provider_counters.get(member.provider)
-        if provider_counter is None:
-            provider_counter = provider_counters[member.provider] = metrics.counter(
-                "sim.client_queries", provider=member.provider
-            )
-        resolve = member.resolver.resolve
-        network = env.network
         member_seq = 0
         resolver_label = f"{member.pool}/{index}"
         while True:
@@ -642,28 +769,25 @@ def run_member_range(
                 chunk = list(itertools.islice(stream, _CHUNK))
             if not chunk:
                 break
-            if tracer is None:
-                with metrics.time_phase("resolve"):
-                    for query in chunk:
+            # One loop for traced and untraced runs: the untraced fast
+            # path pays only the (hoisted) ``sampled is None`` check and
+            # the sequence increment per query.
+            with metrics.time_phase("resolve"):
+                for query in chunk:
+                    if sampled is not None and sampled(index, member_seq):
+                        trace = tracer.begin(
+                            index, member_seq, resolver_label,
+                            member.provider, query.timestamp,
+                            query.qname.to_text(), int(query.qtype),
+                        )
+                        rcode = resolve(
+                            network, query.timestamp, query.qname, query.qtype
+                        )
+                        tracer.finish(trace, int(rcode))
+                    else:
                         resolve(network, query.timestamp, query.qname, query.qtype)
-            else:
-                with metrics.time_phase("resolve"):
-                    for query in chunk:
-                        if tracer.sampled(index, member_seq):
-                            trace = tracer.begin(
-                                index, member_seq, resolver_label,
-                                member.provider, query.timestamp,
-                                query.qname.to_text(), int(query.qtype),
-                            )
-                            rcode = resolve(
-                                network, query.timestamp, query.qname, query.qtype
-                            )
-                            tracer.finish(trace, int(rcode))
-                        else:
-                            resolve(
-                                network, query.timestamp, query.qname, query.qtype
-                            )
-                        member_seq += 1
+                    member_seq += 1
+            if sampled is not None:
                 # Timestamps are banked per provider and folded into the
                 # flight recorder once after the member loop — one
                 # observe_many per provider instead of one per tiny chunk
@@ -678,16 +802,11 @@ def run_member_range(
                 if last_ts > clock.now:
                     clock.advance_to(last_ts)
             provider_counter.inc(len(chunk))
-            now = time.perf_counter()
-            if now - last_progress >= interval:
-                rate = run_count / max(now - loop_started, 1e-9)
-                logger.info(
-                    "progress: %d/%d client queries (%.0f q/s, %d captured rows,"
-                    " at %s fleet member %d/%d)",
-                    run_count, total_queries, rate, len(env.capture),
-                    member.provider, index + 1, len(env.fleet),
-                )
-                last_progress = now
+            maybe_progress(member.provider, index)
+    if vexec is not None:
+        # publish() flushes the pending replayed columns, so every replayed
+        # row is resident before the caller's stats/streaming passes run.
+        vexec.publish()
     if tracer is not None:
         for provider in sorted(stamps_by_provider):
             tracer.recorder.observe_many(
@@ -726,7 +845,8 @@ def simulate_shard(task: ShardTask) -> ShardResult:
             task.seed, descriptor.dataset_id, base_ts=descriptor.start,
         )
     queries_run = run_member_range(
-        env, total_queries, metrics, task.start, stop, tracer
+        env, total_queries, metrics, task.start, stop, tracer,
+        vector=task.vector,
     )
     _publish_run_metrics(
         metrics, env.fleet[task.start:stop], env.server_sets, env.capture,
@@ -782,8 +902,18 @@ def run_dataset(
     spool_dir: Optional[str] = None,
     trace=None,
     clock: Optional[SimClock] = None,
+    vector: Optional[bool] = None,
 ) -> DatasetRun:
     """Simulate one dataset and return its capture.
+
+    ``vector`` (default: the ``REPRO_VECTOR`` env var) enables the
+    vectorized plan/execute core: each fleet member's resolution trace is
+    recorded once through the scalar engine and replayed as a bulk
+    columnar append on every later run of the same ``(descriptor, seed)``
+    in this process (pool workers inherit the parent's recorded plans via
+    fork).  The capture, analyses, and simulation counters are
+    bit-identical to the scalar path; only ``runtime.*`` execution
+    telemetry differs.  Tracing runs fall back to the scalar path.
 
     ``clock`` optionally injects the :class:`~repro.netsim.SimClock` the run
     keeps in step with sim time (defaults to a fresh clock pinned to the
@@ -832,12 +962,14 @@ def run_dataset(
     """
     config = resolve_runtime_config(workers, shard_count, runtime)
     stream = configured_stream() if stream is None else bool(stream)
+    vector = configured_vector() if vector is None else bool(vector)
     trace_config = resolve_trace_config(trace)
     dataset_spool_dir = (
         os.path.join(spool_dir, descriptor.dataset_id) if spool_dir else None
     )
     metrics = MetricsRegistry()
     metrics.gauge("runtime.stream.enabled").set(1 if stream else 0)
+    metrics.gauge("runtime.vector.enabled").set(1 if vector else 0)
     if clock is None:
         clock = SimClock(now=descriptor.start)
     env = build_environment(descriptor, seed, metrics)
@@ -884,6 +1016,7 @@ def run_dataset(
                 spool_dir=worker_spool_dir,
                 trace_sample=trace_config.sample if trace_config else 0.0,
                 trace_window_s=trace_config.window_s if trace_config else 3600.0,
+                vector=vector,
             )
             for shard in plan
         ]
@@ -964,7 +1097,7 @@ def run_dataset(
                 shard_started = time.perf_counter()
                 shard_queries = run_member_range(
                     env, total_queries, metrics, shard.start, shard.stop,
-                    tracer, clock,
+                    tracer, clock, vector=vector,
                 )
                 shard_elapsed = time.perf_counter() - shard_started
                 metrics.observe_phase(f"runtime.shard.{shard.index}", shard_elapsed)

@@ -1,0 +1,37 @@
+"""Vectorized batch-resolution core: plan/execute split.
+
+Record each fleet member's deterministic resolution trace once through
+the scalar engine (:mod:`repro.vector.plans`), then replay it as a bulk
+columnar append on every later run of the same environment
+(:mod:`repro.vector.driver`).  Enabled by ``REPRO_VECTOR=1`` / the CLI's
+``--vector`` flag; bit-identical to the scalar path by construction and
+by the golden-parity suite in ``tests/test_vector_parity.py``.
+"""
+
+from .driver import VectorExecutor
+from .plans import (
+    DEFAULT_PLAN_ROW_LIMIT,
+    MemberPlan,
+    PLAN_ROWS_ENV,
+    PlanStore,
+    decode_rows,
+    decode_view,
+    encode_rows,
+    global_plan_store,
+    plan_row_limit,
+    reset_global_plan_store,
+)
+
+__all__ = [
+    "DEFAULT_PLAN_ROW_LIMIT",
+    "MemberPlan",
+    "PLAN_ROWS_ENV",
+    "PlanStore",
+    "VectorExecutor",
+    "decode_rows",
+    "decode_view",
+    "encode_rows",
+    "global_plan_store",
+    "plan_row_limit",
+    "reset_global_plan_store",
+]

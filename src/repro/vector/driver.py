@@ -1,0 +1,232 @@
+"""Execute side of the plan/execute split: record + replay member turns.
+
+:class:`VectorExecutor` wraps one ``run_member_range`` call.  For each
+fleet member it either **replays** a stored :class:`~repro.vector.plans.
+MemberPlan` — bulk-appending the recorded capture columns and re-applying
+the recorded stats outcome, never touching the workload generator, the
+resolver, or the servers — or lets the caller run the member through the
+scalar engine while the executor **records** the turn (row slice + stats
+deltas) into the process-global plan store for next time.
+
+Replay is bit-identical to scalar execution by construction: the rows are
+the scalar engine's own output in its own append order, and every
+simulation-meaningful counter (resolver stats, server query/rcode/RRL
+counts, fault-injector stats, ``sim.client_queries``) is restored from the
+recorded outcome.  What replay deliberately does *not* reproduce is
+execution-strategy state: the resolver's TTL cache stays empty and the
+server-side response-plan cache counters (``runtime.plan_cache.*``) do
+not advance — both are ``runtime.*`` telemetry, excluded from cross-mode
+parity by the same convention the pooled runtime already relies on.
+
+All counters here are ``runtime.vector.*`` — execution detail, not
+simulation output.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..runtime import environment_fingerprint
+from .plans import (
+    FAULT_DELTA_FIELDS,
+    MemberPlan,
+    PlanStore,
+    SERVER_DELTA_FIELDS,
+    copy_cache_stats,
+    copy_resolver_stats,
+    decode_view,
+    diff_fault_stats,
+    diff_server_stats,
+    encode_rows,
+    encoded_row_count,
+    global_plan_store,
+    snapshot_fault_stats,
+    snapshot_server_stats,
+)
+
+
+class _Recording:
+    """Open recording state for one member turn (see
+    :meth:`VectorExecutor.begin_record`)."""
+
+    __slots__ = ("key", "row_start", "server_before", "fault_before", "count")
+
+    def __init__(self, key, row_start, server_before, fault_before, count):
+        self.key = key
+        self.row_start = row_start
+        self.server_before = server_before
+        self.fault_before = fault_before
+        self.count = count
+
+
+class VectorExecutor:
+    """Plan recorder/replayer for one member-range execution.
+
+    Replayed members' capture columns are not appended one member at a
+    time: they accumulate in a pending block and land in the capture as
+    **one** concatenated columnar append per flush (a flush happens before
+    any scalar/record member runs, so append order stays member order, and
+    once at the end of the range).  That keeps the replay path's per-member
+    work down to a plan lookup plus stats bookkeeping — the numpy work is
+    amortised across the whole replayed span.
+    """
+
+    def __init__(self, env, metrics, store: Optional[PlanStore] = None):
+        self._env = env
+        self._metrics = metrics
+        self._store = global_plan_store() if store is None else store
+        self._fingerprint = environment_fingerprint(env.descriptor, env.seed)
+        self._pending_views = []
+        # server_id → server, resolved once: delta application touches only
+        # the handful of servers a member actually queried, not every set.
+        self._servers = {
+            server.server_id: server
+            for server_set in env.server_sets.values()
+            for server in server_set
+        }
+        self.members_replayed = 0
+        self.members_recorded = 0
+        self.queries_replayed = 0
+        self.rows_replayed = 0
+        self.plans_dropped = 0
+
+    def _key(self, index: int, count: int):
+        return (self._fingerprint, index, count)
+
+    # -- replay ----------------------------------------------------------------
+
+    def try_replay(self, member, index: int, count: int, clock=None) -> bool:
+        """Replay ``member``'s stored plan if one exists.  Returns whether
+        the member was replayed (``False`` → caller must run it scalar)."""
+        plan = self._store.get(self._key(index, count))
+        if plan is None:
+            return False
+        # A member's recorded stats are absolute (its resolver starts every
+        # run zeroed); if this resolver somehow already ran this session,
+        # fall back to scalar rather than clobber real state.
+        if member.resolver.stats.client_queries != 0:
+            return False
+        env = self._env
+        if plan.row_count:
+            self._pending_views.append(decode_view(plan.columns))
+        member.resolver.stats = copy_resolver_stats(plan.resolver_stats)
+        member.resolver.cache.stats = copy_cache_stats(plan.cache_stats)
+        if plan.server_deltas:
+            self._apply_server_deltas(plan.server_deltas)
+        if plan.fault_delta is not None and env.network.faults is not None:
+            self._apply_fault_delta(plan.fault_delta)
+        if clock is not None and plan.last_ts > clock.now:
+            clock.advance_to(plan.last_ts)
+        self.members_replayed += 1
+        self.queries_replayed += count
+        self.rows_replayed += plan.row_count
+        return True
+
+    def flush_pending(self) -> None:
+        """Append the accumulated replayed columns as one columnar block.
+
+        Must run before any row lands in the capture by another path (the
+        record pass calls it via :meth:`begin_record`) and once at the end
+        of the member range — rows then appear in exactly the scalar
+        path's member order.
+        """
+        pending = self._pending_views
+        if not pending:
+            return
+        self._pending_views = []
+        with self._metrics.time_phase("resolve"):
+            if len(pending) == 1:
+                block = pending[0]
+            else:
+                block = type(pending[0])(**{
+                    name: np.concatenate([getattr(view, name) for view in pending])
+                    for name in type(pending[0]).__dataclass_fields__
+                })
+            self._env.capture.extend_columns(block)
+
+    def _apply_server_deltas(self, deltas) -> None:
+        for server_id, (fields, rcodes) in deltas.items():
+            stats = self._servers[server_id].stats
+            for name, value in zip(SERVER_DELTA_FIELDS, fields):
+                setattr(stats, name, getattr(stats, name) + value)
+            for rcode, value in rcodes.items():
+                stats.by_rcode[rcode] = stats.by_rcode.get(rcode, 0) + value
+
+    def _apply_fault_delta(self, delta) -> None:
+        fields, causes = delta
+        stats = self._env.network.faults.stats
+        for name, value in zip(FAULT_DELTA_FIELDS, fields):
+            setattr(stats, name, getattr(stats, name) + value)
+        for cause, value in causes.items():
+            stats.dropped_by_cause[cause] = stats.dropped_by_cause.get(cause, 0) + value
+
+    # -- record ----------------------------------------------------------------
+
+    def begin_record(self, index: int, count: int) -> _Recording:
+        """Snapshot shared-state counters before a scalar member turn.
+
+        Flushes any pending replayed columns first, so the row slice this
+        recording will claim starts after every previously replayed row.
+        """
+        self.flush_pending()
+        env = self._env
+        return _Recording(
+            key=self._key(index, count),
+            row_start=len(env.capture.raw_rows()),
+            server_before=snapshot_server_stats(env.server_sets),
+            fault_before=snapshot_fault_stats(env.network.faults),
+            count=count,
+        )
+
+    def finish_record(self, recording: _Recording, member, last_ts: float) -> None:
+        """Close a recording: encode the member's row slice and stats deltas
+        and deposit the plan."""
+        env = self._env
+        rows = env.capture.raw_rows()[recording.row_start:]
+        columns = encode_rows(rows)
+        plan = MemberPlan(
+            columns=columns,
+            row_count=encoded_row_count(columns),
+            queries=recording.count,
+            last_ts=last_ts,
+            resolver_stats=copy_resolver_stats(member.resolver.stats),
+            cache_stats=copy_cache_stats(member.resolver.cache.stats),
+            server_deltas=diff_server_stats(
+                recording.server_before, snapshot_server_stats(env.server_sets)
+            ),
+            fault_delta=diff_fault_stats(
+                recording.fault_before, snapshot_fault_stats(env.network.faults)
+            ),
+        )
+        if self._store.put(recording.key, plan):
+            self.members_recorded += 1
+        else:
+            self.plans_dropped += 1
+
+    # -- telemetry -------------------------------------------------------------
+
+    def publish(self) -> None:
+        """Flush any pending replayed columns and roll this execution's
+        record/replay activity into the registry."""
+        self.flush_pending()
+        metrics = self._metrics
+        metrics.counter("runtime.vector.members_replayed").inc(self.members_replayed)
+        metrics.counter("runtime.vector.members_recorded").inc(self.members_recorded)
+        metrics.counter("runtime.vector.queries_replayed").inc(self.queries_replayed)
+        metrics.counter("runtime.vector.rows_replayed").inc(self.rows_replayed)
+        if self.plans_dropped:
+            metrics.counter("runtime.vector.plans_dropped").inc(self.plans_dropped)
+        if self._store.evictions:
+            metrics.counter("runtime.vector.plan_evictions").inc(self._store.evictions)
+            self._store.evictions = 0
+        total = self.members_replayed + self.members_recorded
+        if total:
+            metrics.gauge("runtime.vector.unique_plan_ratio").set(
+                self.members_recorded / total
+            )
+        if self.members_replayed:
+            metrics.gauge("runtime.vector.replay_width").set(
+                self.rows_replayed / self.members_replayed
+            )

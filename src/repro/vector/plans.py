@@ -1,0 +1,322 @@
+"""Columnar member plans: the record side of the plan/execute split.
+
+A **member plan** is one fleet member's complete, deterministic resolution
+trace — every capture row it appended plus the stats it accumulated —
+recorded once through the scalar engine and replayed wholesale on every
+later run of the same ``(environment, member, count)``.
+
+Member granularity is the largest unit over which replay can be
+bit-identical: a member's resolver starts each run freshly reset (empty
+TTL cache, zeroed stats, RNG reseeded from its construction seed), its
+client stream is a pure function of ``(workload seed, member index,
+count)``, and all shared state it reads — the latency model, anycast
+catchments, zone content, hash-pure fault verdicts and the synthetic leaf
+authority — is deterministic.  Below member granularity the engine is
+state-dependent (a cache hit consumes no RNG and emits no rows; a miss
+does both), so per-query dedup would desynchronise everything after the
+first divergence.
+
+Rows are stored **columnar**: numpy arrays per capture column, with the
+two string columns (``qname``, ``server_id``) dictionary-encoded as
+``uint32`` codes over interned value tables.  The codec
+(:func:`encode_rows` / :func:`decode_view` / :func:`decode_rows`) is
+exact — round-tripping a row list reproduces it value-for-value,
+including NaN ``tcp_rtt_ms`` — and is fuzzed in
+``tests/test_vector_codec_fuzz.py``.
+"""
+
+from __future__ import annotations
+
+import copy
+import os
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..capture import CaptureStore, CaptureView
+
+#: Environment variable bounding the process-global plan store, in total
+#: encoded rows across all plans (``0`` disables storing entirely).
+PLAN_ROWS_ENV = "REPRO_VECTOR_PLAN_ROWS"
+
+#: Default plan-store capacity: two million encoded rows is roughly a
+#: 1M-query dataset's full trace, far above the benchmark/test volumes,
+#: while keeping the worst-case resident footprint in the ~100 MB range.
+DEFAULT_PLAN_ROW_LIMIT = 2_000_000
+
+
+def plan_row_limit(default: int = DEFAULT_PLAN_ROW_LIMIT) -> int:
+    """Plan-store row capacity, overridable via ``REPRO_VECTOR_PLAN_ROWS``."""
+    raw = os.environ.get(PLAN_ROWS_ENV)
+    if raw is None:
+        return default
+    value = int(raw)
+    if value < 0:
+        raise ValueError(f"{PLAN_ROWS_ENV} must be >= 0")
+    return value
+
+
+# -- the columnar codec -----------------------------------------------------------
+
+def encode_rows(rows: Sequence[Tuple]) -> Dict[str, np.ndarray]:
+    """Encode capture row tuples into named columnar arrays.
+
+    The layout follows :meth:`CaptureStore.rows_to_view` exactly, except
+    that ``qname`` and ``server_id`` are dictionary-encoded: a ``*_table``
+    object array of distinct strings plus a ``*_code`` index column.  The
+    tables reference the original (interned) string instances, so decoding
+    hands back the very same objects the engine appended.
+    """
+    view = CaptureStore.rows_to_view(rows)
+    server_table, server_code = np.unique(view.server_id, return_inverse=True)
+    qname_table, qname_code = np.unique(view.qname, return_inverse=True)
+    return {
+        "timestamp": view.timestamp,
+        "server_table": server_table,
+        "server_code": server_code.astype(np.uint32),
+        "family": view.family,
+        "src_hi": view.src_hi,
+        "src_lo": view.src_lo,
+        "transport": view.transport,
+        "qname_table": qname_table,
+        "qname_code": qname_code.astype(np.uint32),
+        "qtype": view.qtype,
+        "rcode": view.rcode,
+        "edns_bufsize": view.edns_bufsize,
+        "do_bit": view.do_bit,
+        "response_size": view.response_size,
+        "truncated": view.truncated,
+        "tcp_rtt_ms": view.tcp_rtt_ms,
+    }
+
+
+def decode_view(columns: Dict[str, np.ndarray]) -> CaptureView:
+    """Expand encoded plan columns back into a :class:`CaptureView`."""
+    return CaptureView(
+        timestamp=columns["timestamp"],
+        server_id=columns["server_table"][columns["server_code"]],
+        family=columns["family"],
+        src_hi=columns["src_hi"],
+        src_lo=columns["src_lo"],
+        transport=columns["transport"],
+        qname=columns["qname_table"][columns["qname_code"]],
+        qtype=columns["qtype"],
+        rcode=columns["rcode"],
+        edns_bufsize=columns["edns_bufsize"],
+        do_bit=columns["do_bit"],
+        response_size=columns["response_size"],
+        truncated=columns["truncated"],
+        tcp_rtt_ms=columns["tcp_rtt_ms"],
+    )
+
+
+def decode_rows(columns: Dict[str, np.ndarray]) -> List[Tuple]:
+    """Expand encoded plan columns back into capture row tuples.
+
+    Round-trip inverse of :func:`encode_rows` (NaN ``tcp_rtt_ms`` stays
+    NaN; numeric columns come back as native Python scalars, strings as
+    the interned table entries).
+    """
+    return decode_view(columns).to_rows()
+
+
+def encoded_row_count(columns: Dict[str, np.ndarray]) -> int:
+    return int(len(columns["timestamp"]))
+
+
+# -- stats bookkeeping -------------------------------------------------------------
+
+#: Integer :class:`~repro.server.authoritative.ServerStats` fields whose
+#: per-member deltas are replayed.  The ``plan_*`` fields are deliberately
+#: absent: they are ``runtime.plan_cache.*`` execution-strategy telemetry
+#: (already excluded from cross-mode parity), and a replayed member never
+#: touches the response-plan cache at all.
+SERVER_DELTA_FIELDS = ("queries", "truncated", "rrl_dropped", "rrl_slipped")
+
+#: Scalar :class:`~repro.faults.injector.FaultStats` fields replayed as
+#: deltas (plus the ``dropped_by_cause`` dict, handled separately).
+FAULT_DELTA_FIELDS = ("checks", "latency_spikes", "extra_latency_ms_total")
+
+
+def snapshot_server_stats(server_sets) -> Dict[str, Tuple]:
+    """Freeze every server's delta-relevant counters, keyed by server id."""
+    out: Dict[str, Tuple] = {}
+    for server_set in server_sets.values():
+        for server in server_set:
+            stats = server.stats
+            out[server.server_id] = (
+                tuple(getattr(stats, name) for name in SERVER_DELTA_FIELDS),
+                dict(stats.by_rcode),
+            )
+    return out
+
+
+def diff_server_stats(
+    before: Dict[str, Tuple], after: Dict[str, Tuple]
+) -> Dict[str, Tuple]:
+    """Per-server counter deltas between two snapshots (zero deltas are
+    dropped — a member only ever talks to a handful of servers)."""
+    deltas: Dict[str, Tuple] = {}
+    for server_id, (after_fields, after_rcodes) in after.items():
+        before_fields, before_rcodes = before.get(server_id, ((), {}))
+        if not before_fields:
+            before_fields = (0,) * len(SERVER_DELTA_FIELDS)
+        fields = tuple(a - b for a, b in zip(after_fields, before_fields))
+        rcodes = {
+            rcode: count - before_rcodes.get(rcode, 0)
+            for rcode, count in after_rcodes.items()
+            if count - before_rcodes.get(rcode, 0)
+        }
+        if any(fields) or rcodes:
+            deltas[server_id] = (fields, rcodes)
+    return deltas
+
+
+def snapshot_fault_stats(faults) -> Optional[Tuple]:
+    if faults is None:
+        return None
+    stats = faults.stats
+    return (
+        tuple(getattr(stats, name) for name in FAULT_DELTA_FIELDS),
+        dict(stats.dropped_by_cause),
+    )
+
+
+def diff_fault_stats(before: Optional[Tuple], after: Optional[Tuple]) -> Optional[Tuple]:
+    if before is None or after is None:
+        return None
+    fields = tuple(a - b for a, b in zip(after[0], before[0]))
+    causes = {
+        cause: count - before[1].get(cause, 0)
+        for cause, count in after[1].items()
+        if count - before[1].get(cause, 0)
+    }
+    if not any(fields) and not causes:
+        return None
+    return (fields, causes)
+
+
+def copy_resolver_stats(stats):
+    """Deep-enough copy of a ResolverStats (the by_qtype dict is the only
+    mutable field).  ``copy.copy`` + dict rebuild, not ``dataclasses.
+    replace`` — this runs once per replayed member and the field
+    revalidation in ``replace`` measurably dragged the replay loop."""
+    out = copy.copy(stats)
+    out.by_qtype = dict(stats.by_qtype)
+    return out
+
+
+def copy_cache_stats(stats):
+    return copy.copy(stats)
+
+
+# -- the plan ---------------------------------------------------------------------
+
+@dataclass
+class MemberPlan:
+    """One member's recorded turn: capture rows + stats outcome.
+
+    ``columns`` is the :func:`encode_rows` encoding of exactly the rows the
+    member's scalar run appended, in append order.  ``resolver_stats`` /
+    ``cache_stats`` are full post-run copies (a member's resolver starts
+    every run zeroed, so absolutes are deltas); ``server_deltas`` /
+    ``fault_delta`` are true deltas against shared-object snapshots.
+    """
+
+    columns: Dict[str, np.ndarray]
+    row_count: int
+    queries: int
+    last_ts: float
+    resolver_stats: object
+    cache_stats: object
+    server_deltas: Dict[str, Tuple] = field(default_factory=dict)
+    fault_delta: Optional[Tuple] = None
+
+    def capture_view(self) -> CaptureView:
+        return decode_view(self.columns)
+
+
+#: Plan key: ``(environment fingerprint, global member index, member query
+#: count)``.  The fingerprint covers every build input (descriptor + seed,
+#: see :func:`repro.runtime.environment_fingerprint`); a member's trace
+#: given an environment depends only on its index and count, so plans are
+#: shared across runs with different *total* volumes that apportion the
+#: same per-member count.
+PlanKey = Tuple[str, int, int]
+
+
+class PlanStore:
+    """Process-local, capacity-bounded member-plan cache.
+
+    Mirrors the :class:`~repro.runtime.env_cache.EnvironmentCache`
+    contract: process-global, fork-inherited by pool workers (a serial
+    warm-up run in the parent pre-warms every forked worker), and bounded —
+    here by *total encoded rows* rather than entry count, evicting
+    least-recently-used plans until a new deposit fits.
+    """
+
+    def __init__(self, row_limit: Optional[int] = None):
+        self._row_limit = plan_row_limit() if row_limit is None else int(row_limit)
+        self._plans: "OrderedDict[PlanKey, MemberPlan]" = OrderedDict()
+        self._rows_held = 0
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    @property
+    def rows_held(self) -> int:
+        return self._rows_held
+
+    def get(self, key: PlanKey) -> Optional[MemberPlan]:
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self._plans.move_to_end(key)
+            return plan
+
+    def put(self, key: PlanKey, plan: MemberPlan) -> bool:
+        """Deposit a plan, evicting LRU entries to make room.  Returns
+        ``False`` (and stores nothing) when the plan alone exceeds the
+        whole capacity."""
+        if plan.row_count > self._row_limit:
+            return False
+        with self._lock:
+            previous = self._plans.pop(key, None)
+            if previous is not None:
+                self._rows_held -= previous.row_count
+            while self._plans and self._rows_held + plan.row_count > self._row_limit:
+                __, evicted = self._plans.popitem(last=False)
+                self._rows_held -= evicted.row_count
+                self.evictions += 1
+            self._plans[key] = plan
+            self._rows_held += plan.row_count
+            return True
+
+    def clear(self) -> None:
+        with self._lock:
+            self._plans.clear()
+            self._rows_held = 0
+
+
+#: The process-global store the simulation driver records into and replays
+#: from (fork-started pool workers inherit the parent's deposits, exactly
+#: like the environment cache).
+_GLOBAL_STORE: Optional[PlanStore] = None
+
+
+def global_plan_store() -> PlanStore:
+    global _GLOBAL_STORE
+    if _GLOBAL_STORE is None:
+        _GLOBAL_STORE = PlanStore()
+    return _GLOBAL_STORE
+
+
+def reset_global_plan_store() -> None:
+    """Drop the process-global store (tests; capacity-env changes)."""
+    global _GLOBAL_STORE
+    _GLOBAL_STORE = None

@@ -1,0 +1,254 @@
+"""Property tests for the vector layer's columnar encodings.
+
+Two codecs keep the plan/execute split honest and both get fuzzed here:
+
+* the **plan codec** (:func:`repro.vector.encode_rows` /
+  :func:`repro.vector.decode_rows`): capture row tuples → dictionary-
+  encoded column arrays → row tuples, which must be an exact round trip
+  (NaN ``tcp_rtt_ms`` included) because replayed rows are compared
+  bit-for-bit against scalar execution;
+* the **workload batch** (:class:`repro.workload.QueryBatch`): the
+  columnar client-stream emission must reproduce the scalar generator's
+  stream value-for-value — same RNG draws, same order.
+
+Adversarial populations mirror ``test_spool_codec_fuzz``: empty batches,
+maximum-width names, 0xFFFF qtypes, v4/v6 address extremes, NaN RTTs.
+"""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.capture import (
+    CaptureSpool,
+    CaptureStore,
+    QueryRecord,
+    Transport,
+)
+from repro.dnscore import Name, RRType
+from repro.netsim import IPAddress
+from repro.vector import decode_rows, decode_view, encode_rows
+from repro.workload import ClientQuery, DiurnalPattern, QueryBatch, WorkloadGenerator
+
+#: A label chain at the DNS maximum: 4x63-byte labels (255 bytes of name).
+_MAX_WIDTH_QNAME = ".".join("x" * 63 for _ in range(4)) + "."
+
+record_st = st.builds(
+    lambda ts, server, fam, val, transport, qname, qtype, rcode, bufsize,
+    do_bit, size, truncated, rtt: QueryRecord(
+        timestamp=ts,
+        server_id=server,
+        src=IPAddress(fam, val % (2**32 if fam == 4 else 2**128)),
+        transport=Transport.TCP if transport else Transport.UDP,
+        qname=qname,
+        qtype=qtype,
+        rcode=rcode,
+        edns_bufsize=bufsize,
+        do_bit=do_bit,
+        response_size=size,
+        truncated=truncated,
+        tcp_rtt_ms=(rtt if transport else None),
+    ),
+    st.floats(0, 1e9, allow_nan=False),
+    st.sampled_from(["nl-a", "nl-b", "nz-u", "b-root"]),
+    st.sampled_from([4, 6]),
+    st.integers(0, 2**128 - 1),
+    st.booleans(),
+    st.sampled_from(
+        ["nl.", "example.nl.", "a.very.deep.chain.example.nl.", _MAX_WIDTH_QNAME]
+    ),
+    # Exercise the full qtype range, 0xFFFF included.
+    st.sampled_from([1, 2, 6, 16, 28, 255, 0xFFFF]),
+    st.integers(0, 23),
+    st.sampled_from([0, 512, 1232, 4096, 0xFFFF]),
+    st.booleans(),
+    st.integers(0, 2**32 - 1),
+    st.booleans(),
+    st.floats(0.01, 2000.0),
+)
+
+
+def rows_of(records):
+    store = CaptureStore()
+    store.extend(records)
+    return store.raw_rows()
+
+
+def assert_views_equal(a, b):
+    for name in type(a).__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, f"column {name}: {x.dtype} != {y.dtype}"
+        equal_nan = name == "tcp_rtt_ms"
+        assert np.array_equal(x, y, equal_nan=equal_nan), f"column {name} differs"
+
+
+class TestPlanCodecRoundTrip:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(record_st, max_size=60))
+    def test_encode_decode_round_trip(self, records):
+        rows = rows_of(records)
+        columns = encode_rows(rows)
+        assert_views_equal(CaptureStore.rows_to_view(rows), decode_view(columns))
+        decoded = decode_rows(columns)
+        assert len(decoded) == len(rows)
+        assert_views_equal(
+            CaptureStore.rows_to_view(rows), CaptureStore.rows_to_view(decoded)
+        )
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(record_st, max_size=60))
+    def test_dictionary_tables_reference_original_strings(self, records):
+        """Decoding hands back the engine's own interned string instances —
+        the replay path must not duplicate per-row string storage."""
+        rows = rows_of(records)
+        columns = encode_rows(rows)
+        originals = {id(row[1]) for row in rows} | {id(row[6]) for row in rows}
+        for table in (columns["server_table"], columns["qname_table"]):
+            for value in table:
+                assert id(value) in originals
+
+    def test_empty_batch_round_trip(self):
+        columns = encode_rows([])
+        assert decode_rows(columns) == []
+        assert len(decode_view(columns)) == 0
+
+    def test_extremes_survive_exactly(self):
+        records = [
+            QueryRecord(
+                timestamp=1.0, server_id="nl-a",
+                src=IPAddress(6, 2**128 - 1),
+                transport=Transport.UDP, qname=_MAX_WIDTH_QNAME, qtype=0xFFFF,
+                rcode=0, edns_bufsize=0xFFFF, do_bit=True,
+                response_size=2**32 - 1, truncated=True,
+            ),
+            QueryRecord(
+                timestamp=2.0, server_id="nl-a",
+                src=IPAddress(4, 2**32 - 1),
+                transport=Transport.TCP, qname="nl.", qtype=1,
+                rcode=0, edns_bufsize=0, tcp_rtt_ms=41.5,
+            ),
+        ]
+        rows = rows_of(records)
+        decoded = decode_rows(encode_rows(rows))
+        assert decoded[0][6] == _MAX_WIDTH_QNAME
+        assert decoded[0][7] == 0xFFFF and decoded[0][9] == 0xFFFF
+        assert decoded[0][11] == 2**32 - 1
+        assert np.isnan(decoded[0][13])  # UDP row: NaN RTT stays NaN
+        assert decoded[1][13] == 41.5
+
+
+class TestBulkColumnarAppend:
+    """The capture-side halves of the replay path: ``CaptureView.to_rows``
+    → ``CaptureStore.extend_columns`` and ``CaptureSpool.append_view``."""
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(record_st, max_size=60))
+    def test_extend_columns_reproduces_rows(self, records):
+        source = CaptureStore()
+        source.extend(records)
+        target = CaptureStore()
+        target.extend_columns(source.view())
+        assert target.rows_appended == len(records)
+        assert_views_equal(source.view(), target.view())
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.lists(record_st, max_size=60), st.integers(1, 9))
+    def test_spool_append_view_preserves_rows_and_order(self, records, chunk_rows):
+        import tempfile
+
+        source = CaptureStore()
+        source.extend(records)
+        with tempfile.TemporaryDirectory() as tmp:
+            spool = CaptureSpool(directory=tmp, chunk_rows=chunk_rows)
+            spool.append_view(source.view())
+            spool.flush()
+            assert len(spool) == len(records)
+            chunks = list(spool.iter_views())
+            assert all(len(c) <= chunk_rows for c in chunks)
+            if records:
+                merged = np.concatenate([c.timestamp for c in chunks])
+                assert np.array_equal(merged, source.view().timestamp)
+            spool.cleanup()
+
+    def test_spool_append_view_respects_pending_buffer(self):
+        """A view arriving while scalar rows sit in the buffer must queue
+        behind them (row order is the parity invariant)."""
+        import tempfile
+
+        records = [
+            QueryRecord(
+                timestamp=float(i), server_id="nl-a", src=IPAddress(4, i + 1),
+                transport=Transport.UDP, qname="nl.", qtype=2, rcode=0,
+            )
+            for i in range(4)
+        ]
+        head, tail = records[:1], records[1:]
+        head_store, tail_store = CaptureStore(), CaptureStore()
+        head_store.extend(head)
+        tail_store.extend(tail)
+        with tempfile.TemporaryDirectory() as tmp:
+            spool = CaptureSpool(directory=tmp, chunk_rows=100)
+            spool.append_rows(head_store.raw_rows())
+            spool.append_view(tail_store.view())
+            spool.flush()
+            (chunk,) = spool.iter_views()
+            assert list(chunk.timestamp) == [0.0, 1.0, 2.0, 3.0]
+            spool.cleanup()
+
+
+# -- the workload batch -----------------------------------------------------------
+
+names_st = st.sampled_from(
+    [Name.from_text(t) for t in ("example.nl.", "www.deep.example.nl.", "nl.")]
+)
+query_st = st.builds(
+    ClientQuery,
+    st.floats(0, 1e9, allow_nan=False),
+    names_st,
+    st.one_of(st.sampled_from(list(RRType)), st.just(0xFFFF)),
+)
+
+
+class TestQueryBatch:
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(query_st, max_size=50))
+    def test_batch_round_trip(self, queries):
+        batch = QueryBatch.from_queries(queries)
+        assert len(batch) == len(queries)
+        assert batch.timestamps.dtype == np.float64
+        assert batch.qtypes.dtype == np.uint16
+        restored = list(batch.iter_queries())
+        assert [q.timestamp for q in restored] == [q.timestamp for q in queries]
+        assert [q.qname for q in restored] == [q.qname for q in queries]
+        assert [int(q.qtype) for q in restored] == [int(q.qtype) for q in queries]
+        if queries:
+            assert batch.last_timestamp == queries[-1].timestamp
+        else:
+            assert batch.last_timestamp == 0.0
+
+    def test_qnames_keep_identity(self):
+        name = Name.from_text("example.nl.")
+        batch = QueryBatch.from_queries([ClientQuery(1.0, name, RRType.A)])
+        assert batch.qnames[0] is name
+
+    def test_generate_batch_matches_scalar_stream(self):
+        """The columnar emission is the same stream: same RNG draw
+        sequence, same values, same order as :meth:`generate`."""
+        domains = sorted(
+            Name.from_text(f"site{i}.nl.") for i in range(8)
+        )
+        generator = WorkloadGenerator("nl", domains, seed=20201027)
+        pattern = DiurnalPattern(start=0.0, duration=7 * 86400.0)
+        for index in (0, 3, 17):
+            scalar = list(
+                generator.generate(index, 60, pattern, junk_fraction=0.1)
+            )
+            batch = generator.generate_batch(index, 60, pattern, junk_fraction=0.1)
+            assert list(batch.iter_queries()) == scalar
+
+    def test_generate_batch_empty(self):
+        generator = WorkloadGenerator(
+            "nl", [Name.from_text("site.nl.")], seed=1
+        )
+        pattern = DiurnalPattern(start=0.0, duration=86400.0)
+        batch = generator.generate_batch(0, 0, pattern, junk_fraction=0.0)
+        assert len(batch) == 0 and batch.last_timestamp == 0.0

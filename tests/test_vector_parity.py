@@ -1,0 +1,345 @@
+"""Golden parity: the vectorized core must be invisible in the numbers.
+
+The plan/execute split (``REPRO_VECTOR`` / ``--vector``) records each
+fleet member's turn once through the scalar engine and replays it
+columnar thereafter.  Replay has to be bit-identical — the capture, every
+analysis answer, resolver/server/fault statistics — whether the run was
+serial, pooled, streaming, or degraded by a chaos schedule.  Only
+``runtime.*`` telemetry (phase wall times, plan-cache counters) may
+differ, the same exclusion the streaming and pooled parity suites rely
+on.
+
+Also here: the cumulative-floor query apportionment
+(:func:`repro.sim.member_query_counts`) that makes per-member counts —
+and therefore plan keys — independent of how a fleet is partitioned into
+shards, plus unit coverage for the bounded plan store.
+"""
+
+import dataclasses
+from dataclasses import replace
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import Attributor, StreamingAnalytics, ViewAnalytics
+from repro.clouds import PROVIDERS
+from repro.faults import chaos_scenario
+from repro.sim import member_query_counts, run_dataset
+from repro.vector import (
+    MemberPlan,
+    PlanStore,
+    plan_row_limit,
+    reset_global_plan_store,
+)
+from repro.workload import dataset
+
+DATASET = "nl-w2020"
+QUERIES = 900
+SEED = 20201027
+
+
+def assert_views_equal(a, b):
+    for name in type(a).__dataclass_fields__:
+        x, y = getattr(a, name), getattr(b, name)
+        assert x.dtype == y.dtype, f"column {name}: dtype differs"
+        equal_nan = name == "tcp_rtt_ms"
+        assert np.array_equal(x, y, equal_nan=equal_nan), f"column {name} differs"
+
+
+def view_analytics(run):
+    view = run.capture.view()
+    return ViewAnalytics(view, Attributor(run.registry, PROVIDERS).attribute(view))
+
+
+def assert_analyses_equal(a, b):
+    """Key figure/table reducers agree exactly across execution modes."""
+    assert a.dataset_summary() == b.dataset_summary()
+    assert a.provider_shares(PROVIDERS) == b.provider_shares(PROVIDERS)
+    assert a.cloud_share(PROVIDERS) == b.cloud_share(PROVIDERS)
+    assert a.overall_junk_ratio() == b.overall_junk_ratio()
+    for provider in PROVIDERS:
+        assert a.truncation_ratio(provider) == b.truncation_ratio(provider)
+        assert a.tcp_share(provider) == b.tcp_share(provider)
+
+
+def assert_fleet_stats_equal(a_run, b_run):
+    """Every member's resolver/cache stats — replay restores absolutes."""
+    for a_member, b_member in zip(a_run.fleet, b_run.fleet):
+        assert dataclasses.asdict(a_member.resolver.stats) == dataclasses.asdict(
+            b_member.resolver.stats
+        )
+        assert dataclasses.asdict(a_member.resolver.cache.stats) == dataclasses.asdict(
+            b_member.resolver.cache.stats
+        )
+
+
+def assert_server_stats_equal(a_run, b_run):
+    """Simulation-meaningful server counters (the ``plan_*`` fields are
+    ``runtime.plan_cache.*`` execution telemetry, excluded by design)."""
+    for key, a_set in a_run.server_sets.items():
+        for a_server, b_server in zip(a_set, b_run.server_sets[key]):
+            for field in ("queries", "truncated", "rrl_dropped", "rrl_slipped"):
+                assert getattr(a_server.stats, field) == getattr(
+                    b_server.stats, field
+                ), (key, a_server.server_id, field)
+            assert a_server.stats.by_rcode == b_server.stats.by_rcode
+
+
+# Modes are pinned explicitly everywhere in this module, so the comparison
+# stays scalar-vs-vector even when the suite itself runs under
+# REPRO_VECTOR=1 / REPRO_WORKERS=2 (the CI vector-smoke lane).
+@pytest.fixture(scope="module")
+def scalar_run():
+    return run_dataset(
+        dataset(DATASET), client_queries=QUERIES, seed=SEED,
+        workers=1, stream=False, vector=False,
+    )
+
+
+@pytest.fixture(scope="module")
+def vector_runs():
+    """A (record, replay) pair over a freshly emptied plan store."""
+    reset_global_plan_store()
+    record = run_dataset(
+        dataset(DATASET), client_queries=QUERIES, seed=SEED,
+        workers=1, stream=False, vector=True,
+    )
+    replay = run_dataset(
+        dataset(DATASET), client_queries=QUERIES, seed=SEED,
+        workers=1, stream=False, vector=True,
+    )
+    return record, replay
+
+
+class TestSerialParity:
+    def test_record_run_bit_identical(self, scalar_run, vector_runs):
+        record, __ = vector_runs
+        assert_views_equal(scalar_run.capture.view(), record.capture.view())
+
+    def test_replay_run_bit_identical(self, scalar_run, vector_runs):
+        __, replay = vector_runs
+        assert len(replay.capture) == len(scalar_run.capture)
+        assert replay.capture.rows_appended == scalar_run.capture.rows_appended
+        assert_views_equal(scalar_run.capture.view(), replay.capture.view())
+
+    def test_analyses_bit_identical(self, scalar_run, vector_runs):
+        __, replay = vector_runs
+        assert_analyses_equal(view_analytics(scalar_run), view_analytics(replay))
+
+    def test_resolver_and_server_stats_identical(self, scalar_run, vector_runs):
+        __, replay = vector_runs
+        assert_fleet_stats_equal(scalar_run, replay)
+        assert_server_stats_equal(scalar_run, replay)
+        assert replay.client_queries_run == scalar_run.client_queries_run
+
+    def test_record_run_telemetry(self, vector_runs):
+        record, __ = vector_runs
+        snapshot = record.telemetry
+        assert snapshot.gauges["runtime.vector.enabled"] == 1
+        assert snapshot.total("runtime.vector.members_recorded") > 0
+        assert snapshot.total("runtime.vector.members_replayed") == 0
+        assert snapshot.gauges["runtime.vector.unique_plan_ratio"] == 1.0
+
+    def test_replay_run_telemetry(self, vector_runs):
+        record, replay = vector_runs
+        snapshot = replay.telemetry
+        assert snapshot.total("runtime.vector.members_recorded") == 0
+        assert snapshot.total("runtime.vector.members_replayed") == record.telemetry.total(
+            "runtime.vector.members_recorded"
+        )
+        assert snapshot.total("runtime.vector.queries_replayed") == QUERIES
+        assert snapshot.total("runtime.vector.rows_replayed") == len(replay.capture)
+        assert snapshot.gauges["runtime.vector.unique_plan_ratio"] == 0.0
+        assert snapshot.gauges["runtime.vector.replay_width"] > 0
+
+
+class TestPooledParity:
+    def test_pooled_vector_bit_identical(self, scalar_run, vector_runs):
+        """Fork-started workers inherit the parent's recorded plans."""
+        pooled = run_dataset(
+            dataset(DATASET), client_queries=QUERIES, seed=SEED,
+            workers=2, stream=False, vector=True,
+        )
+        assert pooled.runtime_report.mode == "process-pool"
+        assert pooled.runtime_report.failures == 0
+        assert_views_equal(scalar_run.capture.view(), pooled.capture.view())
+
+
+class TestStreamingParity:
+    def test_streaming_vector_bit_identical(self, scalar_run, vector_runs):
+        streamed = run_dataset(
+            dataset(DATASET), client_queries=QUERIES, seed=SEED,
+            workers=1, stream=True, vector=True,
+        )
+        assert streamed.aggregates is not None
+        assert_views_equal(scalar_run.capture.view(), streamed.capture.view())
+        assert_analyses_equal(
+            view_analytics(scalar_run), StreamingAnalytics(streamed.aggregates)
+        )
+
+
+class TestChaosParity:
+    """Fault injection must survive replay exactly: verdicts are hash-pure
+    functions of (query, schedule), so the recorded rows and fault-stat
+    deltas are the degraded truth."""
+
+    @pytest.fixture(scope="class")
+    def chaos_descriptor(self):
+        return replace(dataset(DATASET), fault_plan=chaos_scenario("default-loss"))
+
+    @pytest.fixture(scope="class")
+    def chaos_runs(self, chaos_descriptor):
+        scalar = run_dataset(
+            chaos_descriptor, client_queries=QUERIES, seed=SEED,
+            workers=1, stream=False, vector=False,
+        )
+        run_dataset(  # record pass
+            chaos_descriptor, client_queries=QUERIES, seed=SEED,
+            workers=1, stream=False, vector=True,
+        )
+        replay = run_dataset(
+            chaos_descriptor, client_queries=QUERIES, seed=SEED,
+            workers=1, stream=False, vector=True,
+        )
+        return scalar, replay
+
+    def test_chaos_views_bit_identical(self, chaos_runs):
+        scalar, replay = chaos_runs
+        assert replay.telemetry.total("runtime.vector.members_replayed") > 0
+        assert_views_equal(scalar.capture.view(), replay.capture.view())
+
+    def test_chaos_fault_stats_identical(self, chaos_runs):
+        scalar, replay = chaos_runs
+        a, b = scalar.network.faults.stats, replay.network.faults.stats
+        assert a.checks == b.checks
+        assert a.latency_spikes == b.latency_spikes
+        assert a.dropped_by_cause == b.dropped_by_cause
+        assert a.extra_latency_ms_total == b.extra_latency_ms_total
+
+
+class TestTracerFallback:
+    def test_tracer_forces_scalar_execution(self, scalar_run):
+        """Tracing observes real engine phases, so a traced range runs
+        scalar (and says so in telemetry) rather than replaying."""
+        traced = run_dataset(
+            dataset(DATASET), client_queries=QUERIES, seed=SEED,
+            workers=1, stream=False, vector=True, trace=0.05,
+        )
+        snapshot = traced.telemetry
+        assert snapshot.total("runtime.vector.fallbacks") >= 1
+        assert snapshot.total("runtime.vector.members_replayed") == 0
+        assert snapshot.total("runtime.vector.members_recorded") == 0
+        assert_views_equal(scalar_run.capture.view(), traced.capture.view())
+
+
+# -- query apportionment -----------------------------------------------------------
+
+positive_weights = st.lists(
+    st.floats(0.01, 1e6, allow_nan=False, allow_infinity=False),
+    min_size=1, max_size=200,
+)
+
+
+class TestMemberQueryCounts:
+    @settings(max_examples=100, deadline=None)
+    @given(positive_weights, st.integers(0, 50_000))
+    def test_counts_sum_exactly_to_total(self, weights, total):
+        counts = member_query_counts(weights, total)
+        assert len(counts) == len(weights)
+        assert int(counts.sum()) == total
+        assert int(counts.min()) >= 0
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        positive_weights, st.integers(1, 50_000),
+        st.data(),
+    )
+    def test_partition_independence(self, weights, total, data):
+        """Sharding is slicing: any contiguous partition of the members
+        sums to the same total, and each member's count never depends on
+        where the shard boundaries fall."""
+        counts = member_query_counts(weights, total)
+        cuts = sorted(
+            data.draw(
+                st.lists(st.integers(0, len(weights)), max_size=4),
+                label="cuts",
+            )
+        )
+        bounds = [0, *cuts, len(weights)]
+        assert sum(
+            int(counts[start:stop].sum())
+            for start, stop in zip(bounds, bounds[1:])
+        ) == total
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(1, 300), st.integers(0, 10_000))
+    def test_uniform_weights_spread_evenly(self, members, total):
+        """Near-even spread: each count is within one query of the ideal
+        share, give or take one ulp-jittered cumulative bound."""
+        counts = member_query_counts([1.0] * members, total)
+        ideal = total / members
+        assert abs(int(counts.max()) - ideal) < 2
+        assert abs(int(counts.min()) - ideal) < 2
+
+    def test_zero_weight_fleet_rejected(self):
+        with pytest.raises(ValueError):
+            member_query_counts([0.0, 0.0], 100)
+        with pytest.raises(ValueError):
+            member_query_counts([], 100)
+
+
+# -- the plan store ----------------------------------------------------------------
+
+def _plan(rows: int) -> MemberPlan:
+    return MemberPlan(
+        columns={}, row_count=rows, queries=rows, last_ts=0.0,
+        resolver_stats=None, cache_stats=None,
+    )
+
+
+class TestPlanStore:
+    def test_round_trip_and_lru_eviction(self):
+        store = PlanStore(row_limit=10)
+        for index in range(3):
+            assert store.put(("env", index, 1), _plan(4))
+        # 12 rows demanded, 10 allowed: the oldest entry was evicted.
+        assert len(store) == 2
+        assert store.rows_held == 8
+        assert store.evictions == 1
+        assert store.get(("env", 0, 1)) is None
+        assert store.get(("env", 2, 1)).row_count == 4
+
+    def test_get_refreshes_recency(self):
+        store = PlanStore(row_limit=8)
+        store.put(("env", 0, 1), _plan(4))
+        store.put(("env", 1, 1), _plan(4))
+        store.get(("env", 0, 1))  # 0 is now most recent
+        store.put(("env", 2, 1), _plan(4))
+        assert store.get(("env", 1, 1)) is None
+        assert store.get(("env", 0, 1)) is not None
+
+    def test_oversized_plan_rejected(self):
+        store = PlanStore(row_limit=10)
+        store.put(("env", 0, 1), _plan(4))
+        assert not store.put(("env", 1, 1), _plan(11))
+        assert len(store) == 1 and store.rows_held == 4
+
+    def test_replace_same_key_reclaims_rows(self):
+        store = PlanStore(row_limit=10)
+        store.put(("env", 0, 1), _plan(6))
+        store.put(("env", 0, 1), _plan(8))
+        assert len(store) == 1 and store.rows_held == 8
+
+    def test_clear(self):
+        store = PlanStore(row_limit=10)
+        store.put(("env", 0, 1), _plan(4))
+        store.clear()
+        assert len(store) == 0 and store.rows_held == 0
+
+    def test_row_limit_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_VECTOR_PLAN_ROWS", "123")
+        assert plan_row_limit() == 123
+        monkeypatch.setenv("REPRO_VECTOR_PLAN_ROWS", "-1")
+        with pytest.raises(ValueError):
+            plan_row_limit()
