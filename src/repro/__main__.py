@@ -252,6 +252,38 @@ def _cmd_dataset(args: argparse.Namespace) -> int:
     for provider, share in shares.items():
         print(f"{provider:<11}      : {share:.3f}")
     print(f"all 5 CPs        : {analytics.cloud_share(PROVIDERS):.3f}")
+    if args.sovereignty:
+        sovereignty = analytics.sovereignty()
+        print("sovereignty cut (top countries):")
+        for row in sovereignty.countries[:8]:
+            print(
+                f"  {row.name:<4} queries {row.query_share:.3f}  "
+                f"traffic {row.traffic_share:.3f}  cloud {row.cloud_share:.3f}"
+            )
+        print("bloc rollups:")
+        for row in sovereignty.blocs:
+            print(
+                f"  {row.name:<10} queries {row.query_share:.3f}  "
+                f"traffic {row.traffic_share:.3f}  cloud {row.cloud_share:.3f}"
+            )
+    if args.composition:
+        composition = analytics.composition(top_k=8)
+        print("query composition:")
+        for category, share in composition.category_shares.items():
+            print(
+                f"  {category:<15} {share:.3f}  "
+                f"({composition.category_counts[category]} queries)"
+            )
+        print(
+            f"heavy hitters (space-saving, cm bound "
+            f"±{composition.cm_error_bound:.1f} at "
+            f"{composition.cm_confidence:.3f}):"
+        )
+        for hitter in composition.heavy_hitters:
+            print(
+                f"  {hitter.qname:<40} ~{hitter.estimate} "
+                f"(err ≤ {hitter.error}, cm {hitter.cm_estimate})"
+            )
     if args.out:
         from .capture import write_csv
 
@@ -515,6 +547,13 @@ def main(argv=None) -> int:
     p_dataset.add_argument("dataset_id")
     _add_sim_flags(p_dataset, scale_default="0.2")
     p_dataset.add_argument("--out", help="write the capture to this CSV path")
+    p_dataset.add_argument("--sovereignty", action="store_true",
+                           help="print the country/bloc jurisdiction cut"
+                                " (query + traffic shares, bloc cloud"
+                                " dependency)")
+    p_dataset.add_argument("--composition", action="store_true",
+                           help="print the query-composition taxonomy and"
+                                " sketch-backed heavy hitters")
     p_dataset.add_argument("--allow-partial", action="store_true",
                            help="exit 0 even when shards failed and the"
                                 " capture is incomplete")

@@ -119,6 +119,21 @@ class DatasetAnalytics:
     def monthly_point(self, provider: str, year: int, month: int) -> MonthlyPoint:
         raise NotImplementedError
 
+    def sovereignty(self, providers: Optional[Sequence[str]] = None):
+        """Country/bloc cut (:class:`~repro.analysis.sovereignty.SovereigntyReport`).
+
+        Exact integer arithmetic on both backends — bit-identical between
+        modes and across worker counts."""
+        raise NotImplementedError
+
+    def composition(self, top_k: int = 10):
+        """Taxonomy cut (:class:`~repro.analysis.composition.CompositionReport`).
+
+        The category/provider counts are exact and mode-identical; the
+        heavy-hitter list is sketch-derived, so between modes it agrees
+        within the certified error bounds rather than bit-for-bit."""
+        raise NotImplementedError
+
 
 class ViewAnalytics(DatasetAnalytics):
     """In-memory backend: a frozen view + attribution, delegating to the
@@ -182,6 +197,19 @@ class ViewAnalytics(DatasetAnalytics):
 
     def monthly_point(self, provider, year, month):
         return qmin.monthly_point(self.view, self.attribution, provider, year, month)
+
+    def sovereignty(self, providers=None):
+        from .sovereignty import sovereignty_report
+
+        providers = _default_providers() if providers is None else providers
+        return sovereignty_report(self.view, self.attribution, providers)
+
+    def composition(self, top_k=10):
+        from .composition import composition_report
+
+        return composition_report(
+            self.view, self.attribution, _default_providers(), top_k
+        )
 
 
 class StreamingAnalytics(DatasetAnalytics):
@@ -317,3 +345,10 @@ class StreamingAnalytics(DatasetAnalytics):
             aaaa_share=share(RRType.AAAA),
             total_queries=total,
         )
+
+    def sovereignty(self, providers=None):
+        self._check_providers(providers)
+        return self.aggregates["sovereignty"].finalize()
+
+    def composition(self, top_k=10):
+        return self.aggregates["composition"].finalize(top_k)

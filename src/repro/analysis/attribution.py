@@ -23,6 +23,10 @@ OTHER = "Other"
 #: Label for unrouted source addresses (no covering prefix).
 UNKNOWN = "Unknown"
 
+#: ISO-3166-ish code for traffic whose country cannot be attributed
+#: (unrouted addresses, or registry entries without country metadata).
+NO_COUNTRY = "ZZ"
+
 
 @dataclass
 class AttributionResult:
@@ -30,9 +34,21 @@ class AttributionResult:
 
     providers: np.ndarray   #: object array: provider name / OTHER / UNKNOWN
     asns: np.ndarray        #: int64 array: origin ASN (0 = unrouted)
+    #: object array: registry country of the origin AS (NO_COUNTRY when
+    #: unrouted).  Optional so hand-built results predating the
+    #: jurisdiction layer keep working; use :attr:`country_labels`.
+    countries: Optional[np.ndarray] = None
 
     def provider_mask(self, provider: str) -> np.ndarray:
         return self.providers == provider
+
+    @property
+    def country_labels(self) -> np.ndarray:
+        """Per-row country codes, defaulting to NO_COUNTRY throughout when
+        the result was built without the jurisdiction layer."""
+        if self.countries is not None:
+            return self.countries
+        return np.full(len(self.providers), NO_COUNTRY, dtype=object)
 
 
 class Attributor:
@@ -46,9 +62,9 @@ class Attributor:
     def __init__(self, registry: ASRegistry, cloud_providers: Sequence[str]):
         self.registry = registry
         self.cloud_providers = tuple(cloud_providers)
-        self._address_cache: Dict[Tuple[int, int, int], Tuple[int, str]] = {}
+        self._address_cache: Dict[Tuple[int, int, int], Tuple[int, str, str]] = {}
 
-    def _lookup(self, family: int, hi: int, lo: int) -> Tuple[int, str]:
+    def _lookup(self, family: int, hi: int, lo: int) -> Tuple[int, str, str]:
         key = (family, hi, lo)
         hit = self._address_cache.get(key)
         if hit is not None:
@@ -56,11 +72,12 @@ class Attributor:
         address = join_address(family, hi, lo)
         asn = self.registry.origin(address)
         if asn is None:
-            result = (0, UNKNOWN)
+            result = (0, UNKNOWN, NO_COUNTRY)
         else:
             operator = self.registry.operator_of(asn)
             label = operator if operator in self.cloud_providers else OTHER
-            result = (asn, label)
+            country = self.registry.country_of(asn) or NO_COUNTRY
+            result = (asn, label, country)
         self._address_cache[key] = result
         return result
 
@@ -68,14 +85,18 @@ class Attributor:
         """Label every row of a capture view."""
         n = len(view)
         providers = np.empty(n, dtype=object)
+        countries = np.empty(n, dtype=object)
         asns = np.zeros(n, dtype=np.int64)
         family, hi, lo = view.family, view.src_hi, view.src_lo
         lookup = self._lookup
         for i in range(n):
-            asn, label = lookup(int(family[i]), int(hi[i]), int(lo[i]))
+            asn, label, country = lookup(int(family[i]), int(hi[i]), int(lo[i]))
             asns[i] = asn
             providers[i] = label
-        return AttributionResult(providers=providers, asns=asns)
+            countries[i] = country
+        return AttributionResult(
+            providers=providers, asns=asns, countries=countries
+        )
 
     def provider_of_address(self, address: IPAddress) -> str:
         """Label a single address (helper for spot checks)."""

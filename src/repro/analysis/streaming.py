@@ -83,6 +83,18 @@ class StreamingAggregator:
         two aggregators agree iff their states compare equal)."""
         raise NotImplementedError
 
+    def exact_state(self):
+        """The partition-invariant part of :meth:`state`.
+
+        Most aggregators are fully exact and inherit ``exact_state ==
+        state``.  Aggregators carrying genuinely approximate state (the
+        composition heavy-hitter summary) override this to expose only
+        the fields whose merge algebra is lossless — the part the
+        registry-wide property tests compare bit-for-bit; the
+        approximate remainder is held to explicit error bounds instead.
+        """
+        return self.state()
+
 
 class ProviderShareAggregator(StreamingAggregator):
     """Figure 1: per-provider query counts over the capture total."""
@@ -565,9 +577,24 @@ class QMinAggregator(StreamingAggregator):
         return hits / total
 
 
+def _sovereignty_factory(providers, prefixes):
+    from .sovereignty import SovereigntyAggregator
+
+    return SovereigntyAggregator(providers)
+
+
+def _composition_factory(providers, prefixes):
+    from .composition import CompositionAggregator
+
+    return CompositionAggregator(providers)
+
+
 #: Registered aggregator factories: name → factory(providers, public_prefixes).
 #: The parity/property tests iterate this registry, so new aggregators get
-#: algebra coverage for free by registering here.
+#: algebra coverage for free by registering here.  The sovereignty and
+#: composition factories import lazily — those modules subclass
+#: :class:`StreamingAggregator`, so importing them here at module top
+#: would be circular.
 AGGREGATOR_FACTORIES: Dict[str, Callable] = {
     ProviderShareAggregator.name: lambda providers, prefixes: ProviderShareAggregator(providers),
     RRTypeMixAggregator.name: lambda providers, prefixes: RRTypeMixAggregator(providers),
@@ -578,6 +605,8 @@ AGGREGATOR_FACTORIES: Dict[str, Callable] = {
     SummaryAggregator.name: lambda providers, prefixes: SummaryAggregator(),
     InventoryAggregator.name: lambda providers, prefixes: InventoryAggregator(providers),
     QMinAggregator.name: lambda providers, prefixes: QMinAggregator(providers),
+    "sovereignty": _sovereignty_factory,
+    "composition": _composition_factory,
 }
 
 
@@ -624,6 +653,15 @@ class AggregateSet:
         self.rows_fed += other.rows_fed
         for name, aggregator in self.aggregators.items():
             aggregator.merge(other.aggregators[name])
+
+    def publish_metrics(self, metrics) -> None:
+        """Let every aggregator that exposes telemetry roll its counters
+        into the registry (``analysis.*``); exact-only aggregators have
+        nothing to publish and are skipped."""
+        for aggregator in self.aggregators.values():
+            publish = getattr(aggregator, "publish_metrics", None)
+            if publish is not None:
+                publish(metrics)
 
     @classmethod
     def merge_all(cls, sets: Iterable["AggregateSet"]) -> "AggregateSet":

@@ -435,14 +435,14 @@ def build_background_fleet(
     cursor = 0
     for as_index in range(n_ases):
         asn = 60000 + as_index
-        country = _BACKGROUND_SITES[as_index % len(_BACKGROUND_SITES)]
-        info = ASInfo(asn, f"ISP-{asn}", f"ISP-{asn}", country)
+        site_code = _BACKGROUND_SITES[as_index % len(_BACKGROUND_SITES)]
+        site = GAZETTEER[site_code]
+        info = ASInfo(asn, f"ISP-{asn}", f"ISP-{asn}", site.country)
         v4 = Prefix(4, (100 << 24 | as_index << 10) << (32 - 32), 22)
         v6 = Prefix.parse(f"2a10:{as_index:x}::/32")
         registrations.append((info, [v4, v6]))
         v4_alloc = AddressAllocator([v4])
         v6_alloc = AddressAllocator([v6])
-        site = GAZETTEER[country]
         for r_index in range(int(per_as[as_index])):
             dual = rng.random() < dual_rate
             behavior = ResolverBehavior(

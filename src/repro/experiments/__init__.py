@@ -1,10 +1,12 @@
 """Experiment runners: one module per paper table/figure."""
 
 from . import (
+    extension_composition,
     extension_concentration,
     extension_outage,
     extension_resilience,
     extension_rssac,
+    extension_sovereignty,
     figure1,
     figure2,
     figure3,
@@ -25,10 +27,12 @@ __all__ = [
     "Report",
     "ReportRow",
     "configured_scale",
+    "extension_composition",
     "extension_concentration",
     "extension_outage",
     "extension_resilience",
     "extension_rssac",
+    "extension_sovereignty",
     "figure1",
     "figure2",
     "figure3",

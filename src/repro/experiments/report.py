@@ -47,6 +47,12 @@ class Report:
     #: analysis work it triggered; empty when everything came from cache).
     wall_time_s: Optional[float] = None
     counter_deltas: Dict[str, int] = field(default_factory=dict)
+    #: Sketch-derived (approximate) results — e.g. heavy-hitter lists from
+    #: the composition aggregator.  Kept out of ``rows``/``series`` because
+    #: those are held to bit-identity between the in-memory and streaming
+    #: backends; entries here are only guaranteed within stated error
+    #: bounds (and may legitimately differ between modes/worker counts).
+    approx: Dict[str, object] = field(default_factory=dict)
 
     def add(self, label: str, paper: Number, measured: Number, unit: str = "", note: str = "") -> None:
         self.rows.append(ReportRow(label, paper, measured, unit, note))
@@ -78,6 +84,8 @@ class Report:
                 )
         for note in self.notes:
             lines.append(f"note: {note}")
+        for key, value in self.approx.items():
+            lines.append(f"approx[{key}]: {value}")
         if self.wall_time_s is not None:
             telemetry = f"telemetry: wall {self.wall_time_s:.2f}s"
             if self.counter_deltas:

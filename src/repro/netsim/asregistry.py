@@ -74,6 +74,11 @@ class ASRegistry:
         info = self._ases.get(asn)
         return None if info is None else info.operator
 
+    def country_of(self, asn: int) -> Optional[str]:
+        """Registered country of the AS, or None when unknown."""
+        info = self._ases.get(asn)
+        return None if info is None else info.country
+
     def announcements(self, asn: int) -> List[Prefix]:
         return list(self._announcements.get(asn, []))
 

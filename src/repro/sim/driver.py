@@ -566,6 +566,7 @@ def _stream_capture(
     metrics.counter("capture.spool.chunks").inc(len(spool.chunk_paths()))
     metrics.counter("capture.spool.rows").inc(spool.rows_spooled)
     metrics.counter("capture.spool.bytes").inc(spool.bytes_written)
+    aggregates.publish_metrics(metrics)
     return aggregates, spool
 
 

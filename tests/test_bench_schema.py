@@ -56,6 +56,26 @@ VECTOR_KEYS = (
     "replay_width_rows",
 )
 
+#: Extra contract keys for the sovereignty/composition benchmark: CI and
+#: later sessions trend aggregator fold throughput and the headline
+#: jurisdiction/taxonomy cuts from these.
+SOVEREIGNTY_KEYS = (
+    "workers",
+    "queries",
+    "rows",
+    "sovereignty_rows_per_s",
+    "composition_rows_per_s",
+    "countries_observed",
+    "five_eyes_query_share",
+    "five_eyes_cloud_share",
+    "eu_query_share",
+    "noerror_share",
+    "chromium_probe_share",
+    "heavy_hitters_tracked",
+    "cm_error_bound",
+    "cm_confidence",
+)
+
 
 def bench_paths():
     return sorted(glob.glob(os.path.join(BENCH_DIR, "BENCH_*.json")))
@@ -65,7 +85,8 @@ def test_benchmark_artifacts_exist():
     names = {os.path.basename(path) for path in bench_paths()}
     assert {"BENCH_hotpath.json", "BENCH_parallel.json",
             "BENCH_streaming.json", "BENCH_serve.json",
-            "BENCH_resilience.json", "BENCH_vector.json"} <= names
+            "BENCH_resilience.json", "BENCH_vector.json",
+            "BENCH_sovereignty.json"} <= names
 
 
 @pytest.mark.parametrize(
@@ -128,4 +149,24 @@ def test_benchmark_artifact_schema(path):
         assert data["vector_steady_queries_per_s"] >= 50_000, (
             f"{path}: the committed artefact must record the >= 50k q/s "
             f"acceptance bar"
+        )
+
+    if os.path.basename(path) == "BENCH_sovereignty.json":
+        for key in SOVEREIGNTY_KEYS:
+            value = data.get(key)
+            assert isinstance(value, (int, float)), (
+                f"{path}: {key} must be numeric"
+            )
+        for key in (
+            "five_eyes_query_share",
+            "five_eyes_cloud_share",
+            "eu_query_share",
+            "noerror_share",
+            "chromium_probe_share",
+            "cm_confidence",
+        ):
+            assert 0.0 <= data[key] <= 1.0, f"{path}: {key} must be a fraction"
+        assert data["workers"] >= 2, (
+            f"{path}: the committed artefact must come from a pooled "
+            f"(workers >= 2) streaming run"
         )

@@ -5,9 +5,18 @@ aggregator, (1) feeding a capture partition-by-partition equals feeding it
 whole, (2) merge is order-insensitive, and (3) merge is associative — the
 parent may then fold shard states in any grouping and still match a serial
 single-pass fold.  These properties are checked against the canonical
-``state()`` snapshot for every entry in ``AGGREGATOR_FACTORIES``, so a new
-aggregator gets algebra coverage just by registering itself.
+``exact_state()`` snapshot for every entry in ``AGGREGATOR_FACTORIES``, so
+a new aggregator gets algebra coverage just by registering itself.
+
+For fully-exact aggregators ``exact_state()`` *is* ``state()``.  The
+composition aggregator additionally carries an approximate space-saving
+summary whose merge is deliberately lossy; for it the algebra tests
+assert the bound contract instead — after any partitioning/merge order,
+every name's true count still falls inside the summary's certified
+``bounds()`` bracket.
 """
+
+from collections import Counter
 
 import numpy as np
 import pytest
@@ -23,6 +32,10 @@ from repro.netsim import IPAddress
 #: Labels the synthetic attribution can hand out (clouds + the two
 #: non-cloud buckets the real Attributor produces).
 LABELS = tuple(PROVIDERS) + (OTHER, UNKNOWN)
+
+#: Countries the synthetic attribution can hand out (real codes spanning
+#: the EU / Five Eyes / BRICS blocs, plus the no-country sentinel).
+COUNTRY_POOL = ("US", "NL", "DE", "BR", "NZ", "GB", "ZZ")
 
 #: 8.8.8.8 — inside the advertised Google Public DNS egress ranges, so the
 #: GoogleSplit trie sees genuine public hits, not only misses.
@@ -73,7 +86,11 @@ def synthetic_attribution(view) -> AttributionResult:
     public = (view.family == 4) & (view.src_lo == np.uint64(GOOGLE_PUBLIC_V4))
     providers[public] = "Google"
     asns = (view.src_lo % np.uint64(7)).astype(np.int64)
-    return AttributionResult(providers=providers, asns=asns)
+    country_mix = (view.src_lo * np.uint64(13) + view.src_hi) % np.uint64(
+        len(COUNTRY_POOL)
+    )
+    countries = np.array([COUNTRY_POOL[int(i)] for i in country_mix], dtype=object)
+    return AttributionResult(providers=providers, asns=asns, countries=countries)
 
 
 def records_to_view(records):
@@ -105,6 +122,24 @@ def fed(name, views):
     return aggregator
 
 
+def assert_approx_part_sound(aggregator, *views):
+    """The bound contract for the approximate (space-saving) part of an
+    aggregator, against a brute-force recount of the fed rows.  No-op
+    for fully-exact aggregators."""
+    sketch = getattr(aggregator, "hot_names", None)
+    if sketch is None:
+        return
+    truth = Counter()
+    for view in views:
+        truth.update(str(q) for q in view.qname)
+    assert sketch.total == sum(truth.values())
+    for qname, true_count in truth.items():
+        lo, hi = sketch.bounds(qname)
+        assert lo <= true_count <= hi, (
+            f"{qname}: true {true_count} outside [{lo}, {hi}]"
+        )
+
+
 parts_st = st.tuples(
     st.lists(record_st, max_size=50),
     st.lists(st.integers(0, 50), max_size=3),
@@ -120,7 +155,9 @@ class TestAggregatorAlgebra:
         view = records_to_view(records)
         whole = fed(name, [view])
         chunked = fed(name, partition(view, cuts))
-        assert whole.state() == chunked.state()
+        assert whole.exact_state() == chunked.exact_state()
+        assert_approx_part_sound(whole, view)
+        assert_approx_part_sound(chunked, view)
 
     @settings(max_examples=20, deadline=None)
     @given(parts_st)
@@ -135,7 +172,12 @@ class TestAggregatorAlgebra:
         for shard in reversed(shards):
             backward.merge(shard)
         whole = fed(name, [records_to_view(records)])
-        assert forward.state() == backward.state() == whole.state()
+        assert (
+            forward.exact_state() == backward.exact_state() == whole.exact_state()
+        )
+        view = records_to_view(records)
+        assert_approx_part_sound(forward, view)
+        assert_approx_part_sound(backward, view)
 
     @settings(max_examples=20, deadline=None)
     @given(parts_st)
@@ -157,7 +199,9 @@ class TestAggregatorAlgebra:
         right_tail.merge(shard(2))
         right = shard(0)
         right.merge(right_tail)
-        assert left.state() == right.state()
+        assert left.exact_state() == right.exact_state()
+        assert_approx_part_sound(left, *parts)
+        assert_approx_part_sound(right, *parts)
 
     def test_merge_rejects_mismatched_config(self, name):
         a = fresh(name)
@@ -186,7 +230,8 @@ class TestAggregateSetAlgebra:
 
         assert merged.rows_fed == whole.rows_fed == len(view)
         for name in AGGREGATOR_FACTORIES:
-            assert merged[name].state() == whole[name].state(), name
+            assert merged[name].exact_state() == whole[name].exact_state(), name
+            assert_approx_part_sound(merged[name], view)
 
     def test_merge_all_of_nothing_is_empty(self):
         merged = AggregateSet.merge_all([])
